@@ -1,0 +1,126 @@
+// Ablations of Metronome's design choices (DESIGN.md §6). Not a paper
+// figure — these justify the decisions the paper makes by argument:
+//   1. primary/backup timeout diversity vs equal timeouts (§IV-A),
+//   2. adaptive TS (eq. 13) vs the best fixed TS under a varying load,
+//   3. sticky-primary + random-backup queue selection vs fully random
+//      vs fully sticky (§IV-E),
+//   4. Tx batch 32 vs 1 (§V-C),
+//   5. hr_sleep vs tuned nanosleep as the Metronome sleep service.
+#include "common.hpp"
+
+using namespace metro;
+
+namespace {
+
+apps::ExperimentConfig base(const bench::Windows& w, double mpps = 14.88) {
+  apps::ExperimentConfig cfg;
+  cfg.driver = apps::DriverKind::kMetronome;
+  cfg.workload.rate_mpps = mpps;
+  cfg.warmup = w.warmup;
+  cfg.measure = w.measure;
+  return cfg;
+}
+
+void row(stats::Table& t, const std::string& name, const apps::ExperimentResult& r) {
+  t.add_row({name, bench::num(r.cpu_percent, 1), bench::num(r.busy_tries_pct, 1),
+             bench::num(r.latency_us.mean, 1), bench::num(r.loss_permille, 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Ablation - Metronome design choices",
+                "each paper design choice wins on the axis it was chosen for");
+
+  // 1. Primary/backup diversity, at high and low load.
+  {
+    stats::Table t({"strategy", "CPU (%)", "busy tries (%)", "mean lat (us)", "loss (permille)"});
+    for (const double mpps : {14.88, 1.488}) {
+      auto diverse = base(w, mpps);
+      auto equal = base(w, mpps);
+      equal.met.primary_backup = false;
+      row(t, "primary/backup @" + bench::num(mpps, 1) + " Mpps", apps::run_experiment(diverse));
+      row(t, "equal timeouts @" + bench::num(mpps, 1) + " Mpps", apps::run_experiment(equal));
+    }
+    std::cout << "[1] primary/backup vs equal timeouts\n";
+    t.print();
+    std::cout << "\n";
+  }
+
+  // 2. Adaptive vs fixed TS across loads (fixed tuned for line rate).
+  {
+    stats::Table t({"strategy", "CPU (%)", "busy tries (%)", "mean lat (us)", "loss (permille)"});
+    for (const double mpps : {14.88, 1.488}) {
+      auto adaptive = base(w, mpps);
+      auto fixed = base(w, mpps);
+      fixed.met.adaptive = false;
+      fixed.met.fixed_ts = 10 * sim::kMicrosecond;  // eq. 13's high-load answer
+      row(t, "adaptive TS @" + bench::num(mpps, 1) + " Mpps", apps::run_experiment(adaptive));
+      row(t, "fixed TS=10us @" + bench::num(mpps, 1) + " Mpps", apps::run_experiment(fixed));
+    }
+    std::cout << "[2] adaptive (eq. 13) vs fixed TS\n";
+    t.print();
+    std::cout << "(fixed TS wastes wake-ups at low load where adaptive triples its sleep)\n\n";
+  }
+
+  // 3. Multi-queue next-queue selection strategies.
+  {
+    stats::Table t({"strategy", "CPU (%)", "busy tries (%)", "mean lat (us)", "loss (permille)"});
+    for (int variant = 0; variant < 3; ++variant) {
+      auto cfg = base(w, 30.0);
+      cfg.xl710 = true;
+      cfg.n_queues = 4;
+      cfg.n_cores = 5;
+      cfg.met.n_threads = 5;
+      cfg.met.target_vacation = 15 * sim::kMicrosecond;
+      cfg.workload.n_flows = 4096;
+      const char* name = "sticky primary + random backup";
+      if (variant == 1) {
+        cfg.met.sticky_primary = false;
+        name = "fully random";
+      } else if (variant == 2) {
+        cfg.met.random_backup = false;
+        name = "fully sticky";
+      }
+      row(t, name, apps::run_experiment(cfg));
+    }
+    std::cout << "[3] next-queue selection (4 queues, 30 Mpps)\n";
+    t.print();
+    std::cout << "\n";
+  }
+
+  // 4. Tx batch threshold at low rate.
+  {
+    stats::Table t({"strategy", "CPU (%)", "busy tries (%)", "mean lat (us)", "loss (permille)"});
+    auto b32 = base(w, 0.744);
+    b32.tx_batch = 32;
+    auto b1 = base(w, 0.744);
+    b1.tx_batch = 1;
+    row(t, "tx batch 32 @0.5Gbps", apps::run_experiment(b32));
+    row(t, "tx batch 1  @0.5Gbps", apps::run_experiment(b1));
+    std::cout << "[4] Tx batch threshold\n";
+    t.print();
+    std::cout << "\n";
+  }
+
+  // 5. Sleep service choice.
+  {
+    stats::Table t({"strategy", "CPU (%)", "busy tries (%)", "mean lat (us)", "loss (permille)"});
+    auto hr = base(w);
+    auto ns = base(w);
+    ns.met.sleep.kind = sim::SleepKind::kNanosleep;
+    ns.met.sleep.timer_slack = sim::kMicrosecond;
+    auto ns_default = base(w);
+    ns_default.met.sleep.kind = sim::SleepKind::kNanosleep;
+    ns_default.met.sleep.timer_slack = sim::calib::kDefaultTimerSlack;
+    row(t, "hr_sleep", apps::run_experiment(hr));
+    row(t, "nanosleep (slack 1us)", apps::run_experiment(ns));
+    row(t, "nanosleep (default 50us slack)", apps::run_experiment(ns_default));
+    std::cout << "[5] sleep service\n";
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Appendix II: the retrieval rate mu is independent of packet size.
+//
+// DPDK moves descriptors, not payloads, so Metronome's model treats mu as
+// a constant in packets/s. This bench offers the same packet *rate* with
+// three very different size profiles (64 B, 1518 B, simple IMIX) and shows
+// the operating point — rho, CPU, vacation statistics — is unchanged,
+// while the bit rate varies by ~20x.
+#include "common.hpp"
+#include "tgen/trace.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Appendix II - size-independent retrieval rate",
+                "same pps -> same rho/CPU/vacation regardless of packet size mix");
+
+  stats::Table table({"size profile", "offered (Mpps)", "~Gbit/s", "rho", "CPU (%)",
+                      "mean V (us)", "loss (permille)"});
+  const double mpps = 7.44;
+  struct Profile {
+    const char* name;
+    std::uint16_t size;
+    bool imix;
+    double mean_size;
+  };
+  const Profile profiles[] = {
+      {"64 B", 64, false, 64.0},
+      {"1518 B", 1518, false, 1518.0},
+      {"IMIX 7:4:1", 0, true, tgen::ImixSizes::mean_size()},
+  };
+  for (const auto& p : profiles) {
+    apps::ExperimentConfig cfg;
+    cfg.driver = apps::DriverKind::kMetronome;
+    cfg.workload.rate_mpps = mpps;
+    cfg.workload.wire_size = p.size;
+    cfg.workload.imix = p.imix;
+    cfg.warmup = w.warmup;
+    cfg.measure = w.measure;
+    const auto r = apps::run_experiment(cfg);
+    table.add_row({p.name, bench::num(mpps, 2),
+                   bench::num(mpps * p.mean_size * 8.0 / 1000.0, 1), bench::num(r.rho, 3),
+                   bench::num(r.cpu_percent, 1), bench::num(r.vacation_us.mean(), 2),
+                   bench::num(r.loss_permille, 3)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Each binary regenerates one table or figure from the paper's §V. Output
+// convention: a header naming the experiment, the paper's qualitative
+// expectation, then an aligned table of the regenerated rows. Pass --fast
+// to any bench to shrink the measurement windows (CI smoke mode).
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace metro::bench {
+
+inline bool fast_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) return true;
+  }
+  return false;
+}
+
+inline void header(const std::string& title, const std::string& paper_expectation) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "Paper: " << paper_expectation << "\n\n";
+}
+
+/// Default measurement windows (shrunk by --fast).
+struct Windows {
+  sim::Time warmup;
+  sim::Time measure;
+};
+
+inline Windows windows(bool fast) {
+  if (fast) return {50 * sim::kMillisecond, 100 * sim::kMillisecond};
+  return {200 * sim::kMillisecond, 800 * sim::kMillisecond};
+}
+
+inline std::string num(double v, int p = 2) { return stats::Table::num(v, p); }
+
+/// Format a latency boxplot as "median [p25-p75] (p5-p95)".
+inline std::string boxplot_str(const stats::Boxplot& b) {
+  return num(b.median) + " [" + num(b.p25) + "-" + num(b.p75) + "] (" + num(b.whisker_lo) + "-" +
+         num(b.whisker_hi) + ")";
+}
+
+}  // namespace metro::bench

@@ -1,0 +1,54 @@
+// Figure 10: L3 forwarder running static DPDK, Metronome and XDP —
+// latency boxplots (a) and total CPU usage (b) at 10/5/1/0.5 Gbps.
+//
+// XDP core counts follow the paper: 4 cores at 10 and 5 Gbps (the minimum
+// not to lose packets on ixgbe), 1 core at 1 and 0.5 Gbps.
+#include "common.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Figure 10 - static DPDK vs Metronome vs XDP (l3fwd)",
+                "DPDK: lowest latency, flat 100% CPU. Metronome: ~2x DPDK latency, "
+                "40%+ CPU saving even at line rate. XDP: highest CPU under load "
+                "(~200%+ with 4 cores), zero CPU at idle");
+
+  stats::Table table({"rate (Gbps)", "driver", "cores", "median lat (us)",
+                      "lat [p25-p75] (p5-p95)", "CPU (%)", "loss (permille)"});
+
+  for (const double gbps : {10.0, 5.0, 1.0, 0.5}) {
+    const double mpps = 14.88 * gbps / 10.0;
+    struct Row {
+      apps::DriverKind kind;
+      const char* name;
+      int queues;
+      int cores;
+    };
+    const int xdp_cores = gbps >= 5.0 ? 4 : 1;
+    const Row rows[] = {
+        {apps::DriverKind::kStaticPolling, "static DPDK", 1, 1},
+        {apps::DriverKind::kMetronome, "Metronome", 1, 3},
+        {apps::DriverKind::kXdp, "XDP", xdp_cores, xdp_cores},
+    };
+    for (const Row& row : rows) {
+      apps::ExperimentConfig cfg;
+      cfg.driver = row.kind;
+      cfg.n_queues = row.queues;
+      cfg.n_cores = row.cores;
+      // XDP spreads the same total rate over its queues via RSS.
+      cfg.workload.rate_mpps = mpps;
+      cfg.workload.n_flows = 1024;
+      cfg.warmup = w.warmup;
+      cfg.measure = w.measure;
+      const auto r = apps::run_experiment(cfg);
+      table.add_row({bench::num(gbps, 1), row.name, bench::num(row.cores, 0),
+                     bench::num(r.latency_us.median), bench::boxplot_str(r.latency_us),
+                     bench::num(r.cpu_percent, 1), bench::num(r.loss_permille, 3)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 11: package power vs CPU utilization for the ondemand and
+// performance governors, static DPDK vs Metronome, at 10/1/0 Gbps.
+#include "common.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Figure 11 - power vs CPU under both governors",
+                "Metronome beats static DPDK on power everywhere except ~line rate "
+                "under `performance`; largest gain (~27%) at zero traffic with "
+                "`ondemand`; Metronome's CPU% is higher under ondemand (slower cores)");
+
+  stats::Table table({"governor", "rate (Gbps)", "driver", "CPU (%)", "power (W)"});
+  for (const auto governor : {sim::Governor::kOndemand, sim::Governor::kPerformance}) {
+    for (const double gbps : {10.0, 1.0, 0.0}) {
+      for (const bool metronome : {false, true}) {
+        apps::ExperimentConfig cfg;
+        cfg.driver =
+            metronome ? apps::DriverKind::kMetronome : apps::DriverKind::kStaticPolling;
+        cfg.governor = governor;
+        cfg.n_cores = 3;
+        cfg.workload.rate_mpps = 14.88 * gbps / 10.0;
+        cfg.warmup = w.warmup;
+        cfg.measure = w.measure;
+        const auto r = apps::run_experiment(cfg);
+        table.add_row({governor == sim::Governor::kOndemand ? "ondemand" : "performance",
+                       bench::num(gbps, 0), metronome ? "Metronome" : "static DPDK",
+                       bench::num(r.cpu_percent, 1), bench::num(r.package_watts, 2)});
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

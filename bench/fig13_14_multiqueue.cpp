@@ -1,0 +1,64 @@
+// Figures 13 + 14: multi-queue (Intel XL710, 37 Mpps) — CPU and power vs
+// the number of Metronome threads, for 2/3/4 Rx queues under both
+// governors, plus busy tries and rho (Fig. 14). Static DPDK (one polling
+// core per queue) is the reference line.
+#include "common.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Figures 13+14 - multiqueue CPU/power and busy-tries/rho",
+                "with 2 queues per-queue load is high (rho ~0.7): gains are mostly "
+                "CPU. More queues -> lower per-queue rho, fewer busy tries, larger "
+                "CPU and power gains. ondemand trades extra CPU time for power");
+
+  for (const auto governor : {sim::Governor::kPerformance, sim::Governor::kOndemand}) {
+    const char* gov_name = governor == sim::Governor::kPerformance ? "performance" : "ondemand";
+    for (const int queues : {2, 3, 4}) {
+      // Static DPDK reference: one full core per queue.
+      apps::ExperimentConfig ref;
+      ref.driver = apps::DriverKind::kStaticPolling;
+      ref.xl710 = true;
+      ref.n_queues = queues;
+      ref.n_cores = queues;
+      ref.governor = governor;
+      ref.workload.rate_mpps = 37.0;
+      ref.workload.n_flows = 4096;
+      ref.warmup = w.warmup;
+      ref.measure = w.measure;
+      const auto rstat = apps::run_experiment(ref);
+
+      std::cout << gov_name << ", " << queues << " queues — static DPDK reference: CPU "
+                << bench::num(rstat.cpu_percent, 0) << "%, power "
+                << bench::num(rstat.package_watts, 1) << " W, throughput "
+                << bench::num(rstat.throughput_mpps, 1) << " Mpps\n";
+
+      stats::Table table({"M (cores)", "CPU (%)", "power (W)", "busy tries (%)", "rho",
+                          "throughput (Mpps)"});
+      for (int m = queues; m <= 8; ++m) {
+        apps::ExperimentConfig cfg;
+        cfg.driver = apps::DriverKind::kMetronome;
+        cfg.xl710 = true;
+        cfg.n_queues = queues;
+        cfg.n_cores = m;
+        cfg.governor = governor;
+        cfg.met.n_threads = m;
+        cfg.met.target_vacation = 15 * sim::kMicrosecond;
+        cfg.workload.rate_mpps = 37.0;
+        cfg.workload.n_flows = 4096;
+        cfg.warmup = w.warmup;
+        cfg.measure = w.measure;
+        const auto r = apps::run_experiment(cfg);
+        table.add_row({bench::num(m, 0), bench::num(r.cpu_percent, 1),
+                       bench::num(r.package_watts, 2), bench::num(r.busy_tries_pct, 1),
+                       bench::num(r.rho, 3), bench::num(r.throughput_mpps, 1)});
+      }
+      table.print();
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 1: hr_sleep() vs nanosleep() latency boxplots at 1/10/100 us.
+//
+// Part A replays the calibrated simulation models (what every other bench
+// consumes). Part B measures clock_nanosleep live on THIS host — with the
+// timer slack forced to 1 ns (the closest stock-kernel equivalent of the
+// paper's tuned-nanosleep baseline) — to show the measurement methodology
+// and this machine's actual wake-up overhead.
+#include "common.hpp"
+#include "rt/hr_sleep.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sleep_service.hpp"
+#include "stats/histogram.hpp"
+
+using namespace metro;
+
+namespace {
+
+stats::Boxplot model_boxplot(sim::SleepKind kind, sim::Time requested, int samples) {
+  sim::Simulation sim(42);
+  sim::SleepServiceConfig cfg;
+  cfg.kind = kind;
+  cfg.timer_slack = sim::kMicrosecond;
+  sim::SleepService svc(sim, cfg);
+  stats::Histogram h(0.005, 500.0);
+  for (int i = 0; i < samples; ++i) {
+    h.add(sim::to_micros(svc.sample_timer_latency(requested)));
+  }
+  return h.boxplot();
+}
+
+stats::Boxplot live_boxplot(sim::Time requested, int samples) {
+  stats::Histogram h(0.5, 100000.0);
+  for (int i = 0; i < samples; ++i) {
+    h.add(static_cast<double>(rt::measure_sleep_latency(requested)) / 1e3);
+  }
+  return h.boxplot();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const int model_samples = fast ? 50000 : 1000000;
+  const int live_samples = fast ? 500 : 5000;
+
+  bench::header("Figure 1 - sleep service latency (model)",
+                "hr_sleep slightly tighter than tuned nanosleep in mean and variance; "
+                "actual ~= requested + 2.9..8.5 us overhead");
+
+  stats::Table model({"requested (us)", "service", "mean (us)", "stddev (us)",
+                      "median [p25-p75] (p5-p95)"});
+  for (const sim::Time req : {1 * sim::kMicrosecond, 10 * sim::kMicrosecond,
+                              100 * sim::kMicrosecond}) {
+    for (const auto kind : {sim::SleepKind::kHrSleep, sim::SleepKind::kNanosleep}) {
+      const auto b = model_boxplot(kind, req, model_samples);
+      model.add_row({bench::num(sim::to_micros(req), 0),
+                     kind == sim::SleepKind::kHrSleep ? "hr_sleep" : "nanosleep",
+                     bench::num(b.mean, 3), bench::num(b.stddev, 3), bench::boxplot_str(b)});
+    }
+  }
+  model.print();
+
+  std::cout << "\n--- live measurement on this host (clock_nanosleep, slack = "
+            << (rt::set_min_timer_slack() ? "1 ns" : "default") << ") ---\n";
+  stats::Table live({"requested (us)", "mean (us)", "stddev (us)", "median (us)", "p95 (us)"});
+  for (const sim::Time req : {1 * sim::kMicrosecond, 10 * sim::kMicrosecond,
+                              100 * sim::kMicrosecond}) {
+    const auto b = live_boxplot(req, live_samples);
+    live.add_row({bench::num(sim::to_micros(req), 0), bench::num(b.mean, 2),
+                  bench::num(b.stddev, 2), bench::num(b.median, 2), bench::num(b.whisker_hi, 2)});
+  }
+  live.print();
+  std::cout << "\nNote: container hosts wake far later than the paper's isolated NUMA node;\n"
+               "the model rows above carry the calibrated Fig. 1 behaviour.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 5: latency and CPU usage vs target vacation period
+// (V-bar in {2, 5, 7, 10} us) at 10 and 5 Gbps.
+#include "common.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Figure 5 - latency vs CPU trade-off across target vacation times",
+                "shorter V-bar -> lower latency but proportionally higher CPU; "
+                "the trade-off holds at both 10 and 5 Gbps");
+
+  stats::Table table({"rate (Gbps)", "V-bar (us)", "mean latency (us)", "p95 (us)", "CPU (%)"});
+  for (const double gbps : {10.0, 5.0}) {
+    for (const double target : {2.0, 5.0, 7.0, 10.0}) {
+      apps::ExperimentConfig cfg;
+      cfg.driver = apps::DriverKind::kMetronome;
+      cfg.met.target_vacation = sim::from_micros(target);
+      cfg.workload.rate_mpps = 14.88 * gbps / 10.0;
+      cfg.warmup = w.warmup;
+      cfg.measure = w.measure;
+      const auto r = apps::run_experiment(cfg);
+      table.add_row({bench::num(gbps, 0), bench::num(target, 0), bench::num(r.latency_us.mean),
+                     bench::num(r.latency_us.whisker_hi), bench::num(r.cpu_percent, 1)});
+    }
+  }
+  table.print();
+  return 0;
+}

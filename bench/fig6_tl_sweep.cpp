@@ -1,0 +1,30 @@
+// Figure 6: busy tries and CPU usage versus the long timeout TL
+// (100..700 us) at line rate.
+#include "common.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Figure 6 - busy tries and CPU vs TL",
+                "longer TL -> fewer wasted wake-ups and slightly lower CPU; most of "
+                "the benefit realised by TL = 500 us");
+
+  stats::Table table({"TL (us)", "busy tries (%)", "CPU (%)", "backup success P (eq. 7)"});
+  for (const double tl : {100.0, 300.0, 500.0, 700.0}) {
+    apps::ExperimentConfig cfg;
+    cfg.driver = apps::DriverKind::kMetronome;
+    cfg.met.long_timeout = sim::from_micros(tl);
+    cfg.workload.rate_mpps = 14.88;
+    cfg.warmup = w.warmup;
+    cfg.measure = w.measure;
+    const auto r = apps::run_experiment(cfg);
+    table.add_row({bench::num(tl, 0), bench::num(r.busy_tries_pct, 1),
+                   bench::num(r.cpu_percent, 1),
+                   bench::num(core::model::backup_success_prob(r.ts_us, tl, cfg.met.n_threads), 4)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 7: busy tries and CPU usage versus the number of threads M
+// (2..6) at line rate.
+#include "common.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Figure 7 - busy tries and CPU vs M",
+                "busy tries grow roughly linearly with M, CPU creeps up slightly: "
+                "extra threads beyond ~3 buy robustness, not throughput");
+
+  stats::Table table({"M (# threads)", "busy tries (%)", "CPU (%)", "wakeups/s"});
+  for (const int m : {2, 3, 4, 5, 6}) {
+    apps::ExperimentConfig cfg;
+    cfg.driver = apps::DriverKind::kMetronome;
+    cfg.met.n_threads = m;
+    cfg.n_cores = std::max(3, m);
+    cfg.workload.rate_mpps = 14.88;
+    cfg.warmup = w.warmup;
+    cfg.measure = w.measure;
+    const auto r = apps::run_experiment(cfg);
+    table.add_row({bench::num(m, 0), bench::num(r.busy_tries_pct, 1),
+                   bench::num(r.cpu_percent, 1),
+                   bench::num(static_cast<double>(r.wakeups) / sim::to_seconds(cfg.measure), 0)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 8: latency versus the number of threads M at 10 Gbps and 1 Gbps.
+#include "common.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Figure 8 - latency vs M",
+                "more threads -> longer primary sleeps (eq. 13) -> higher latency at "
+                "10 Gbps, and mostly higher variance at 1 Gbps");
+
+  stats::Table table(
+      {"rate (Gbps)", "M", "mean (us)", "stddev (us)", "median [p25-p75] (p5-p95)"});
+  for (const double gbps : {10.0, 1.0}) {
+    for (const int m : {2, 3, 4, 5, 6}) {
+      apps::ExperimentConfig cfg;
+      cfg.driver = apps::DriverKind::kMetronome;
+      cfg.met.n_threads = m;
+      cfg.n_cores = std::max(3, m);
+      cfg.workload.rate_mpps = 14.88 * gbps / 10.0;
+      cfg.warmup = w.warmup;
+      cfg.measure = w.measure;
+      const auto r = apps::run_experiment(cfg);
+      table.add_row({bench::num(gbps, 0), bench::num(m, 0), bench::num(r.latency_us.mean),
+                     bench::num(r.latency_us.stddev), bench::boxplot_str(r.latency_us)});
+    }
+  }
+  table.print();
+  return 0;
+}

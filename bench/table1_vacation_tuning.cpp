@@ -1,0 +1,32 @@
+// Table I: mean busy/vacation period, N_V and packet loss for different
+// target vacation periods V-bar, at 14.88 Mpps line rate (M = 3,
+// TL = 500 us, Intel X520 model).
+#include "common.hpp"
+
+using namespace metro;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto w = bench::windows(fast);
+
+  bench::header("Table I - vacation-period tuning at line rate",
+                "measured V ~= 2x target (sleep overhead); V-bar = 10 us is the "
+                "largest no-loss setting; loss grows monotonically beyond it");
+
+  stats::Table table({"Target V (us)", "Measured V (us)", "Measured B (us)", "NV",
+                      "Loss (permille)"});
+  for (const double target : {5.0, 10.0, 12.0, 15.0, 20.0}) {
+    apps::ExperimentConfig cfg;
+    cfg.driver = apps::DriverKind::kMetronome;
+    cfg.met.target_vacation = sim::from_micros(target);
+    cfg.workload.rate_mpps = 14.88;
+    cfg.warmup = w.warmup;
+    cfg.measure = w.measure;
+    const auto r = apps::run_experiment(cfg);
+    table.add_row({bench::num(target, 0), bench::num(r.vacation_us.mean()),
+                   bench::num(r.busy_us.mean()), bench::num(r.nv.mean(), 1),
+                   bench::num(r.loss_permille, 4)});
+  }
+  table.print();
+  return 0;
+}

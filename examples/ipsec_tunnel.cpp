@@ -1,0 +1,79 @@
+// IPsec ESP tunnel: the gateway application the paper ports to Metronome.
+//
+// Sets up two gateways sharing a security association and pushes traffic
+// through a full encap -> (wire) -> decap round trip, with AES-CBC-128
+// encryption and HMAC-SHA1-96 integrity computed for real. Demonstrates
+// the tamper/replay protections along the way.
+//
+// Run: ./ipsec_tunnel
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "apps/ipsec.hpp"
+#include "apps/l3fwd.hpp"
+#include "sim/rng.hpp"
+
+using namespace metro;
+using namespace metro::net;
+
+int main() {
+  apps::SecurityAssociation sa;
+  sa.spi = 0x2026;
+  sim::Rng key_rng(7);
+  for (auto& b : sa.cipher_key) b = static_cast<std::uint8_t>(key_rng.next_u64());
+  for (auto& b : sa.auth_key) b = static_cast<std::uint8_t>(key_rng.next_u64());
+  sa.tunnel_src = ipv4_addr(203, 0, 113, 1);
+  sa.tunnel_dst = ipv4_addr(203, 0, 113, 2);
+
+  apps::IpsecGateway egress(sa), ingress(sa);
+
+  // 1. Bulk round trip across packet sizes.
+  sim::Rng rng(99);
+  int ok = 0;
+  const int kPackets = 20000;
+  for (int i = 0; i < kPackets; ++i) {
+    FiveTuple t{ipv4_addr(192, 168, 1, 10), ipv4_addr(192, 168, 2, 20),
+                static_cast<std::uint16_t>(1024 + i % 1000), 443, kIpProtoUdp};
+    const std::size_t size = 64 + rng.uniform_u64(1400);
+    Packet pkt;
+    apps::build_udp_packet(pkt, t, size);
+    std::vector<std::uint8_t> original(pkt.data(), pkt.data() + pkt.size());
+
+    if (!egress.encap(pkt)) continue;
+    if (!ingress.decap(pkt)) continue;
+    if (pkt.size() == original.size() &&
+        std::memcmp(pkt.data(), original.data(), original.size()) == 0) {
+      ++ok;
+    }
+  }
+  std::cout << "bulk round trip: " << ok << "/" << kPackets
+            << " packets restored bit-exactly\n";
+
+  // 2. A tampered ciphertext must fail authentication.
+  Packet tampered;
+  apps::build_udp_packet(tampered, {ipv4_addr(1, 1, 1, 1), ipv4_addr(2, 2, 2, 2), 1, 2,
+                                    kIpProtoUdp});
+  egress.encap(tampered);
+  tampered.data()[tampered.size() / 2] ^= 0x80;
+  std::cout << "tampered packet rejected: " << (ingress.decap(tampered) ? "NO (BUG)" : "yes")
+            << "\n";
+
+  // 3. A replayed packet must be dropped by the anti-replay window.
+  Packet original;
+  apps::build_udp_packet(original, {ipv4_addr(1, 1, 1, 1), ipv4_addr(2, 2, 2, 2), 3, 4,
+                                    kIpProtoUdp});
+  egress.encap(original);
+  Packet replay;
+  replay.assign(original.data(), original.size());
+  ingress.decap(original);
+  std::cout << "replayed packet rejected: " << (ingress.decap(replay) ? "NO (BUG)" : "yes")
+            << "\n";
+
+  const auto& st = ingress.stats();
+  std::cout << "\ningress stats: decapsulated=" << st.decapsulated
+            << " auth_failures=" << st.auth_failures << " replay_drops=" << st.replay_drops
+            << " malformed=" << st.malformed << "\n";
+  return ok == kPackets ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Functional L3 forwarding: the actual packet-processing code path.
+//
+// Builds a realistic routing table (a default route, several /16
+// aggregates, a /24 customer prefix and one /32 host route), generates a
+// mixed workload of real Ethernet/IPv4/UDP packets, forwards them through
+// the LPM datapath, and prints per-port and per-drop-reason statistics.
+// This is the code whose per-packet cost the simulator charges as
+// calib::kL3fwdPerPacketCost.
+//
+// Run: ./l3fwd_functional
+
+#include <iostream>
+
+#include "apps/l3fwd.hpp"
+#include "sim/rng.hpp"
+#include "stats/table.hpp"
+
+using namespace metro;
+using namespace metro::net;
+
+int main() {
+  apps::L3Forwarder fwd(apps::L3Forwarder::Mode::kLpm);
+
+  // Three output ports with distinct MAC pairs.
+  for (std::uint16_t p = 0; p < 3; ++p) {
+    fwd.add_port({p,
+                  MacAddress{0x02, 0xaa, 0, 0, 0, static_cast<std::uint8_t>(p)},
+                  MacAddress{0x02, 0xbb, 0, 0, 0, static_cast<std::uint8_t>(p)}});
+  }
+
+  // Routing table: most specific must win.
+  fwd.add_route(ipv4_addr(0, 0, 0, 0), 1, 0);          // "default" low half
+  fwd.add_route(ipv4_addr(128, 0, 0, 0), 1, 0);        // "default" high half
+  fwd.add_route(ipv4_addr(10, 1, 0, 0), 16, 1);        // aggregate
+  fwd.add_route(ipv4_addr(10, 2, 0, 0), 16, 1);
+  fwd.add_route(ipv4_addr(10, 1, 7, 0), 24, 2);        // customer /24
+  fwd.add_route(ipv4_addr(10, 1, 7, 99), 32, 0);       // host exception
+
+  sim::Rng rng(2024);
+  std::array<std::uint64_t, 3> per_port{};
+  Packet pkt;
+  const int kPackets = 200000;
+  for (int i = 0; i < kPackets; ++i) {
+    FiveTuple t;
+    t.src_ip = ipv4_addr(198, 18, 0, 0) + static_cast<std::uint32_t>(rng.uniform_u64(1 << 16));
+    // Mix: 25% to the /16s, 25% to the /24, a few to the host route, the
+    // rest to the default halves; ~1% with an expired TTL.
+    const double dice = rng.uniform();
+    if (dice < 0.25) {
+      t.dst_ip = ipv4_addr(10, dice < 0.125 ? 1 : 2, 3, static_cast<std::uint8_t>(i));
+    } else if (dice < 0.5) {
+      t.dst_ip = ipv4_addr(10, 1, 7, static_cast<std::uint8_t>(i == 99 ? 98 : i));
+    } else if (dice < 0.51) {
+      t.dst_ip = ipv4_addr(10, 1, 7, 99);
+    } else {
+      t.dst_ip = static_cast<std::uint32_t>(rng.next_u64());
+    }
+    t.src_port = 1000;
+    t.dst_port = 2000;
+    t.protocol = kIpProtoUdp;
+    apps::build_udp_packet(pkt, t, 64, rng.chance(0.01) ? 1 : 64);
+    const auto out = fwd.process(pkt);
+    if (out.has_value()) per_port[*out]++;
+  }
+
+  const auto& s = fwd.stats();
+  stats::Table table({"counter", "packets"});
+  table.add_row({"forwarded", std::to_string(s.forwarded)});
+  table.add_row({"  -> port 0 (default/host)", std::to_string(per_port[0])});
+  table.add_row({"  -> port 1 (/16 aggregates)", std::to_string(per_port[1])});
+  table.add_row({"  -> port 2 (customer /24)", std::to_string(per_port[2])});
+  table.add_row({"dropped", std::to_string(s.dropped)});
+  table.add_row({"  ttl expired",
+                 std::to_string(s.drop_reason[static_cast<int>(apps::L3fwdDrop::kTtlExpired)])});
+  table.add_row({"  no route",
+                 std::to_string(s.drop_reason[static_cast<int>(apps::L3fwdDrop::kNoRoute)])});
+  table.print();
+
+  std::cout << "\nEvery forwarded packet had its TTL decremented, its IPv4 checksum\n"
+               "incrementally updated (RFC 1624) and its MACs rewritten, as in DPDK's\n"
+               "l3fwd sample.\n";
+  return s.forwarded > 0 ? 0 : 1;
+}

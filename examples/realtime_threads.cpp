@@ -1,0 +1,60 @@
+// The real-thread Metronome runtime (src/rt) in action.
+//
+// Spawns a paced producer plus M = 3 worker threads running the actual
+// Listing-2 protocol — CMPXCHG trylock, clock_nanosleep hr_sleep shim,
+// adaptive TS from eq. 13 — and shows the load estimator and timeout
+// adapting live as the offered rate changes. Real threads, real clocks:
+// absolute numbers depend on this machine.
+//
+// Run: ./realtime_threads
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "rt/metronome_rt.hpp"
+#include "stats/table.hpp"
+
+using namespace metro;
+
+int main() {
+  rt::RtConfig cfg;
+  cfg.n_threads = 3;
+  cfg.rate_pps = 50e3;
+  cfg.target_vacation_us = 100.0;
+  cfg.long_timeout_us = 2000.0;
+
+  rt::MetronomeRt runtime(cfg);
+  runtime.start();
+
+  stats::Table live({"phase", "rate (pps)", "rho", "TS (us)", "consumed"});
+  const auto probe = [&](const char* phase, double rate) {
+    live.add_row({phase, stats::Table::num(rate, 0), stats::Table::num(runtime.current_rho(), 4),
+                  stats::Table::num(runtime.current_ts_us(), 1),
+                  std::to_string(runtime.packets_consumed())});
+  };
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  probe("low load", 50e3);
+
+  runtime.set_rate_pps(1.5e6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  probe("high load", 1.5e6);
+
+  runtime.set_rate_pps(50e3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  probe("low again", 50e3);
+
+  const auto r = runtime.stop();
+  live.print();
+
+  std::cout << "\nrun summary: pushed=" << r.producer_pushed << " consumed=" << r.packets_consumed
+            << " drops=" << r.producer_drops << " leftover=" << r.leftover_in_rings
+            << "\nvacation mean=" << stats::Table::num(r.vacation_us.mean(), 1)
+            << " us (n=" << r.vacation_us.count()
+            << "), busy tries=" << r.busy_tries << "/" << r.total_tries
+            << "\nretrieval latency mean=" << stats::Table::num(r.latency_us.mean(), 1)
+            << " us\n\nTS shrinks when the load rises (eq. 13) and relaxes again when it "
+               "falls:\nthe same adaptation the simulator reproduces quantitatively.\n";
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "apps/experiment.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace metro::apps {
+
+using sim::Time;
+
+Testbed::Testbed(const ExperimentConfig& cfg) : cfg_(cfg) {
+  sim_ = std::make_unique<sim::Simulation>(cfg.seed);
+
+  sim::CoreConfig core_cfg;
+  core_cfg.governor = cfg.governor;
+  machine_ = std::make_unique<sim::Machine>(*sim_, cfg.n_cores, core_cfg);
+
+  // Latency in microseconds: 0.05 us bins up to 5 ms.
+  latency_ = std::make_unique<stats::Histogram>(0.05, 5000.0);
+
+  nic::PortConfig port_cfg = cfg.xl710 ? nic::xl710_config(cfg.n_queues)
+                                       : nic::x520_config(cfg.n_queues);
+  port_cfg.tx_batch = cfg.tx_batch;
+  auto* hist = latency_.get();
+  port_ = std::make_unique<nic::Port>(
+      *sim_, port_cfg, [hist](const nic::PacketDesc& pkt, Time tx_time) {
+        // End-to-end latency as MoonGen would measure it: software dwell
+        // time plus the fixed DMA/PCIe/timestamping path.
+        hist->add(sim::to_micros(tx_time - pkt.arrival + sim::calib::kFixedPathLatency));
+      });
+
+  flows_ = std::make_unique<tgen::FlowSet>(cfg.workload.n_flows, cfg.workload.seed);
+  std::unique_ptr<tgen::FlowPicker> picker;
+  if (cfg.workload.heavy_share > 0.0) {
+    picker = std::make_unique<tgen::UnbalancedFlowPicker>(
+        0, cfg.workload.heavy_share, static_cast<std::uint32_t>(cfg.workload.n_flows));
+  } else {
+    picker =
+        std::make_unique<tgen::UniformFlowPicker>(static_cast<std::uint32_t>(cfg.workload.n_flows));
+  }
+  tgen::StreamConfig stream;
+  stream.rate_pps = cfg.workload.rate_mpps * 1e6;
+  stream.wire_size = cfg.workload.wire_size;
+  stream.imix = cfg.workload.imix;
+  stream.poisson = cfg.workload.poisson;
+  stream.seed = cfg.workload.seed;
+  stream.duration = cfg.warmup + cfg.measure + 100 * sim::kMillisecond;
+  generator_ = std::make_unique<tgen::StreamGenerator>(stream, *flows_, std::move(picker));
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::start() {
+  assert(!started_);
+  started_ = true;
+
+  if (generator_ != nullptr && cfg_.workload.rate_mpps > 0.0) {
+    tgen::attach(*sim_, *port_, *generator_);
+  }
+
+  switch (cfg_.driver) {
+    case DriverKind::kMetronome: {
+      std::vector<sim::Core*> cores;
+      for (int i = 0; i < cfg_.n_cores; ++i) cores.push_back(&machine_->core(i));
+      metronome_ = std::make_unique<core::Metronome>(*sim_, *port_, cores, cfg_.met);
+      metronome_->start();
+      for (const auto& t : metronome_->threads()) {
+        driver_entities_.push_back(EntitySnapshot{t.core, t.entity, 0});
+      }
+      break;
+    }
+    case DriverKind::kStaticPolling: {
+      // One lcore per queue: queue q on core q % n_cores (the paper gives
+      // each static thread its own core; sharing only happens in the
+      // CPU-contention experiments).
+      for (int q = 0; q < port_->n_rx_queues(); ++q) {
+        auto stats = std::make_unique<dpdk::DriverStats>();
+        sim::Core& core = machine_->core(q % cfg_.n_cores);
+        const auto ent = dpdk::spawn_static_lcore(*sim_, *port_, q, core, cfg_.polling, *stats);
+        driver_entities_.push_back(EntitySnapshot{&core, ent, 0});
+        polling_stats_.push_back(std::move(stats));
+      }
+      break;
+    }
+    case DriverKind::kXdp: {
+      if (cfg_.n_cores < port_->n_rx_queues()) {
+        throw std::invalid_argument("XDP requires one core per Rx queue");
+      }
+      for (int q = 0; q < port_->n_rx_queues(); ++q) {
+        auto stats = std::make_unique<dpdk::XdpStats>();
+        sim::Core& core = machine_->core(q);
+        const auto ent = dpdk::spawn_xdp_queue(*sim_, *port_, q, core, cfg_.xdp, *stats);
+        driver_entities_.push_back(EntitySnapshot{&core, ent, 0});
+        xdp_stats_.push_back(std::move(stats));
+      }
+      break;
+    }
+  }
+
+  for (int i = 0; i < cfg_.competitor.n_workers && i < cfg_.n_cores; ++i) {
+    FerretConfig fc;
+    fc.total_work = -1;  // continuous contention
+    fc.nice = cfg_.competitor.nice;
+    spawn_ferret(*sim_, machine_->core(i), fc, "competitor-" + std::to_string(i));
+  }
+}
+
+void Testbed::run_until(Time t) { sim_->run_until(t); }
+
+void Testbed::begin_measurement() {
+  window_start_ = sim_->now();
+  machine_start_ = machine_->snapshot_all();  // settles all cores
+  for (auto& e : driver_entities_) e.on_cpu_at_start = e.core->on_cpu_time(e.entity);
+  latency_->reset();
+  if (metronome_) metronome_->reset_stats();
+  rx_at_start_ = port_->total_rx();
+  drop_at_start_ = port_->total_dropped();
+  tx_at_start_ = port_->tx().total_transmitted();
+}
+
+ExperimentResult Testbed::finish_measurement() {
+  ExperimentResult r;
+  const auto machine_end = machine_->snapshot_all();
+  const Time window = sim_->now() - window_start_;
+  if (window <= 0) return r;
+
+  const auto ws = machine_->window_stats(machine_start_, machine_end);
+  r.package_watts = ws.avg_package_watts;
+
+  double on_cpu_sum = 0.0;
+  for (const auto& e : driver_entities_) {
+    on_cpu_sum += static_cast<double>(e.core->on_cpu_time(e.entity) - e.on_cpu_at_start);
+  }
+  r.cpu_percent = 100.0 * on_cpu_sum / static_cast<double>(window);
+
+  const double window_s = sim::to_seconds(window);
+  const std::uint64_t rx = port_->total_rx() - rx_at_start_;
+  const std::uint64_t drops = port_->total_dropped() - drop_at_start_;
+  const std::uint64_t tx = port_->tx().total_transmitted() - tx_at_start_;
+  r.offered_mpps = cfg_.workload.rate_mpps;
+  r.throughput_mpps = static_cast<double>(tx) / window_s / 1e6;
+  r.loss_permille = rx > 0 ? 1000.0 * static_cast<double>(drops) / static_cast<double>(rx) : 0.0;
+  r.latency_us = latency_->boxplot();
+
+  if (metronome_) {
+    r.rho = metronome_->mean_rho();
+    r.busy_tries_pct = 100.0 * metronome_->busy_try_fraction();
+    r.ts_us = metronome_->mean_ts_us();
+    r.wakeups = metronome_->total_tries();
+    for (int q = 0; q < metronome_->n_queues(); ++q) {
+      const auto& qs = metronome_->queue_state(q);
+      r.vacation_us.merge(qs.vacation_us);
+      r.busy_us.merge(qs.busy_us);
+      r.nv.merge(qs.nv);
+      r.queues.push_back(ExperimentResult::QueueDetail{100.0 * qs.busy_try_fraction(),
+                                                       qs.total_tries, qs.rho.value()});
+    }
+  }
+  return r;
+}
+
+double Testbed::window_cpu_percent() {
+  machine_->snapshot_all();  // settle so on_cpu_time is current
+  const Time now = sim_->now();
+  if (cpu_probe_oncpu_.size() != driver_entities_.size()) {
+    cpu_probe_oncpu_.assign(driver_entities_.size(), 0);
+    for (std::size_t i = 0; i < driver_entities_.size(); ++i) {
+      cpu_probe_oncpu_[i] = driver_entities_[i].core->on_cpu_time(driver_entities_[i].entity);
+    }
+    cpu_probe_at_ = now;
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < driver_entities_.size(); ++i) {
+    const Time cur = driver_entities_[i].core->on_cpu_time(driver_entities_[i].entity);
+    sum += static_cast<double>(cur - cpu_probe_oncpu_[i]);
+    cpu_probe_oncpu_[i] = cur;
+  }
+  const Time dt = now - cpu_probe_at_;
+  cpu_probe_at_ = now;
+  return dt > 0 ? 100.0 * sum / static_cast<double>(dt) : 0.0;
+}
+
+std::uint64_t Testbed::packets_processed() const {
+  if (metronome_) return metronome_->packets_processed();
+  std::uint64_t total = 0;
+  for (const auto& s : polling_stats_) total += s->packets_processed;
+  for (const auto& s : xdp_stats_) total += s->packets_processed;
+  return total;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Testbed bed(cfg);
+  bed.start();
+  bed.run_until(cfg.warmup);
+  bed.begin_measurement();
+  bed.run_until(cfg.warmup + cfg.measure);
+  return bed.finish_measurement();
+}
+
+}  // namespace metro::apps

@@ -1,0 +1,159 @@
+// Unified experiment harness.
+//
+// Every table/figure bench assembles the same testbed: a Machine (cores +
+// governor + power model), a Port (X520 or XL710), a workload generator,
+// one of the three drivers (Metronome / static-polling DPDK / XDP), an
+// optional co-scheduled CPU-bound competitor, a warm-up phase and a
+// measurement window. This header packages that wiring once, so each bench
+// is just a parameter sweep + a table printer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/ferret.hpp"
+#include "core/metronome.hpp"
+#include "dpdk/static_polling.hpp"
+#include "dpdk/xdp_model.hpp"
+#include "nic/port.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulation.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "tgen/feeder.hpp"
+#include "tgen/generator.hpp"
+
+namespace metro::apps {
+
+enum class DriverKind { kMetronome, kStaticPolling, kXdp };
+
+struct WorkloadConfig {
+  double rate_mpps = 14.88;  // 10 GbE 64 B line rate
+  bool poisson = false;
+  std::uint16_t wire_size = 64;
+  bool imix = false;  // simple-IMIX size mix instead of fixed wire_size
+  std::size_t n_flows = 256;
+  /// > 0: fraction of packets belonging to flow 0 (§V-F.4 unbalanced mix).
+  double heavy_share = 0.0;
+  std::uint64_t seed = 42;
+};
+
+struct CompetitorConfig {
+  /// Number of cores (0..n-1) that also run a continuous CPU-bound task.
+  int n_workers = 0;
+  int nice = 19;
+};
+
+struct ExperimentConfig {
+  DriverKind driver = DriverKind::kMetronome;
+  core::MetronomeConfig met{};
+  dpdk::StaticPollingConfig polling{};
+  dpdk::XdpConfig xdp{};
+
+  int n_queues = 1;
+  bool xl710 = false;  // X520 (10 GbE) by default
+  int n_cores = 3;
+  sim::Governor governor = sim::Governor::kPerformance;
+  int tx_batch = sim::calib::kTxBatchDefault;
+
+  WorkloadConfig workload{};
+  CompetitorConfig competitor{};
+
+  sim::Time warmup = 200 * sim::kMillisecond;
+  sim::Time measure = sim::kSecond;
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  double offered_mpps = 0.0;
+  double throughput_mpps = 0.0;
+  double loss_permille = 0.0;
+  /// Sum of the driver threads' on-CPU shares; 100 = one full core.
+  double cpu_percent = 0.0;
+  double package_watts = 0.0;
+  stats::Boxplot latency_us{};
+
+  // Metronome-only observables (zero otherwise).
+  double rho = 0.0;
+  double busy_tries_pct = 0.0;
+  double ts_us = 0.0;
+  stats::Summary vacation_us{};
+  stats::Summary busy_us{};
+  stats::Summary nv{};
+  std::uint64_t wakeups = 0;
+
+  /// Per-queue Metronome detail (Table III).
+  struct QueueDetail {
+    double busy_tries_pct = 0.0;
+    std::uint64_t total_tries = 0;
+    double rho = 0.0;
+  };
+  std::vector<QueueDetail> queues;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// The live simulation testbed, for benches needing time series (Fig. 9)
+/// or bespoke sequencing (Fig. 12). run_experiment() is built on this.
+class Testbed {
+ public:
+  explicit Testbed(const ExperimentConfig& cfg);
+  ~Testbed();
+
+  sim::Simulation& sim() { return *sim_; }
+  sim::Machine& machine() { return *machine_; }
+  nic::Port& port() { return *port_; }
+  core::Metronome* metronome() { return metronome_.get(); }
+
+  /// Spawn the configured driver + workload + competitors.
+  void start();
+
+  /// Run to `t` (absolute virtual time).
+  void run_until(sim::Time t);
+
+  /// Zero all measurement state (call at the end of warm-up).
+  void begin_measurement();
+
+  /// Harvest results for the window since begin_measurement().
+  ExperimentResult finish_measurement();
+
+  /// Instantaneous observables for time-series sampling.
+  double window_cpu_percent();  // since last call to this function
+  std::uint64_t packets_processed() const;
+
+ private:
+  struct EntitySnapshot {
+    sim::Core* core;
+    sim::Core::EntityId entity;
+    sim::Time on_cpu_at_start = 0;
+  };
+
+  ExperimentConfig cfg_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<stats::Histogram> latency_;
+  std::unique_ptr<nic::Port> port_;
+  std::unique_ptr<tgen::FlowSet> flows_;
+  std::unique_ptr<tgen::Generator> generator_;
+  std::unique_ptr<core::Metronome> metronome_;
+  std::vector<std::unique_ptr<dpdk::DriverStats>> polling_stats_;
+  std::vector<std::unique_ptr<dpdk::XdpStats>> xdp_stats_;
+  std::vector<EntitySnapshot> driver_entities_;
+
+  // measurement window state
+  sim::Time window_start_ = 0;
+  std::vector<sim::Core::Snapshot> machine_start_;
+  std::uint64_t rx_at_start_ = 0;
+  std::uint64_t drop_at_start_ = 0;
+  std::uint64_t tx_at_start_ = 0;
+
+  // window_cpu_percent() state
+  sim::Time cpu_probe_at_ = 0;
+  std::vector<sim::Time> cpu_probe_oncpu_;
+
+  bool started_ = false;
+};
+
+}  // namespace metro::apps

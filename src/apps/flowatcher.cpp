@@ -1,0 +1,55 @@
+#include "apps/flowatcher.hpp"
+
+#include <algorithm>
+
+namespace metro::apps {
+
+bool FloWatcher::observe(const net::Packet& pkt, std::int64_t now_ns) {
+  ++total_packets_;
+  total_bytes_ += pkt.size();
+  size_hist_.add(static_cast<double>(pkt.size()));
+  net::FiveTuple tuple;
+  if (!net::extract_five_tuple(pkt, tuple)) {
+    ++non_ip_;
+    return false;
+  }
+  observe_flow_impl(tuple, static_cast<std::uint16_t>(pkt.size()), now_ns);
+  return true;
+}
+
+void FloWatcher::observe_flow(const net::FiveTuple& tuple, std::uint16_t wire_bytes,
+                              std::int64_t now_ns) {
+  ++total_packets_;
+  total_bytes_ += wire_bytes;
+  size_hist_.add(static_cast<double>(wire_bytes));
+  observe_flow_impl(tuple, wire_bytes, now_ns);
+}
+
+void FloWatcher::observe_flow_impl(const net::FiveTuple& tuple, std::uint16_t bytes,
+                                   std::int64_t now_ns) {
+  if (FlowRecord* rec = flows_.find_mut(tuple); rec != nullptr) {
+    ++rec->packets;
+    rec->bytes += bytes;
+    rec->last_seen_ns = now_ns;
+    return;
+  }
+  FlowRecord rec;
+  rec.packets = 1;
+  rec.bytes = bytes;
+  rec.first_seen_ns = now_ns;
+  rec.last_seen_ns = now_ns;
+  flows_.insert(tuple, rec);
+}
+
+std::vector<HeavyHitter> FloWatcher::heavy_hitters(std::size_t k) const {
+  std::vector<HeavyHitter> all;
+  flows_.for_each([&](const net::FiveTuple& flow, const FlowRecord& rec) {
+    all.push_back(HeavyHitter{flow, rec.packets, rec.bytes});
+  });
+  std::sort(all.begin(), all.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) { return a.packets > b.packets; });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace metro::apps

@@ -1,0 +1,74 @@
+// FloWatcher-style high-speed traffic monitor (§V-G, [15]).
+//
+// Run-to-completion model: the receiving thread computes the statistics
+// itself — per-flow packet/byte counters in a cuckoo flow table, a packet
+// size histogram, and inter-arrival tracking, from which heavy hitters and
+// aggregate rates can be queried. This mirrors FloWatcher-DPDK's
+// fine-grained per-packet + per-flow statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/exact_match.hpp"
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace metro::apps {
+
+struct FlowRecord {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t first_seen_ns = 0;
+  std::int64_t last_seen_ns = 0;
+};
+
+struct HeavyHitter {
+  net::FiveTuple flow;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+class FloWatcher {
+ public:
+  explicit FloWatcher(std::size_t flow_capacity = 1 << 16)
+      : flows_(flow_capacity), size_hist_(64.0, 1600.0) {}
+
+  /// Account one packet (functional path: parses the real headers).
+  /// Returns false for non-IPv4 or malformed packets (still counted).
+  bool observe(const net::Packet& pkt, std::int64_t now_ns);
+
+  /// Account a pre-extracted flow (timing path: descriptors only).
+  void observe_flow(const net::FiveTuple& tuple, std::uint16_t wire_bytes, std::int64_t now_ns);
+
+  std::uint64_t total_packets() const noexcept { return total_packets_; }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t non_ip_packets() const noexcept { return non_ip_; }
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+  const stats::Histogram& size_histogram() const noexcept { return size_hist_; }
+
+  const FlowRecord* flow(const net::FiveTuple& tuple) const {
+    return const_cast<net::CuckooTable<net::FiveTuple, FlowRecord, Hasher>&>(flows_).find_mut(
+        tuple);
+  }
+
+  /// Top-k flows by packet count.
+  std::vector<HeavyHitter> heavy_hitters(std::size_t k) const;
+
+ private:
+  struct Hasher {
+    std::uint64_t operator()(const net::FiveTuple& t) const { return net::flow_hash(t); }
+  };
+
+  void observe_flow_impl(const net::FiveTuple& tuple, std::uint16_t bytes, std::int64_t now_ns);
+
+  net::CuckooTable<net::FiveTuple, FlowRecord, Hasher> flows_;
+  stats::Histogram size_hist_;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t non_ip_ = 0;
+};
+
+}  // namespace metro::apps

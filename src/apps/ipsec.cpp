@@ -1,0 +1,164 @@
+#include "apps/ipsec.hpp"
+
+#include <cstring>
+#include <span>
+
+namespace metro::apps {
+
+using namespace metro::net;
+
+IpsecGateway::IpsecGateway(const SecurityAssociation& sa, std::uint64_t iv_seed)
+    : sa_(sa),
+      cipher_(std::span<const std::uint8_t, 16>(sa_.cipher_key)),
+      hmac_(sa_.auth_key),
+      iv_rng_(iv_seed) {}
+
+bool IpsecGateway::encap(Packet& pkt) {
+  if (pkt.size() < sizeof(EthernetHeader) + sizeof(Ipv4Header)) {
+    ++stats_.malformed;
+    return false;
+  }
+  const EthernetHeader eth = *pkt.at<EthernetHeader>(0);
+  if (be16_to_host(eth.ether_type) != kEtherTypeIpv4) {
+    ++stats_.malformed;
+    return false;
+  }
+
+  // The plaintext is the inner IPv4 packet (Ethernet stripped).
+  pkt.adj(sizeof(EthernetHeader));
+  const std::size_t inner_len = pkt.size();
+
+  // RFC 4303 trailer: pad to the cipher block, then pad-length + next-header.
+  const std::size_t unpadded = inner_len + 2;
+  const std::size_t padded = (unpadded + 15) / 16 * 16;
+  const std::size_t pad_len = padded - unpadded;
+  std::uint8_t* tail = pkt.append(pad_len + 2);
+  for (std::size_t i = 0; i < pad_len; ++i) tail[i] = static_cast<std::uint8_t>(i + 1);
+  tail[pad_len] = static_cast<std::uint8_t>(pad_len);
+  tail[pad_len + 1] = 4;  // next header: IPv4 (tunnel mode)
+
+  // Encrypt in place with a fresh random IV.
+  std::array<std::uint8_t, kIvSize> iv;
+  for (auto& b : iv) b = static_cast<std::uint8_t>(iv_rng_.next_u64());
+  cipher_.encrypt(std::span(pkt.data(), padded), std::span<const std::uint8_t, 16>(iv),
+                  std::span(pkt.data(), padded));
+
+  // Prepend IV and the ESP header.
+  std::uint8_t* iv_area = pkt.prepend(kIvSize);
+  std::memcpy(iv_area, iv.data(), kIvSize);
+  auto* esp = reinterpret_cast<EspHeader*>(pkt.prepend(sizeof(EspHeader)));
+  esp->spi = host_to_be32(sa_.spi);
+  esp->sequence = host_to_be32(++seq_out_);
+
+  // Integrity tag over ESP header + IV + ciphertext.
+  const auto tag = hmac_.compute96(std::span(pkt.data(), pkt.size()));
+  std::memcpy(pkt.append(kTagSize), tag.data(), kTagSize);
+
+  // Outer IPv4 + Ethernet.
+  auto* outer_ip = reinterpret_cast<Ipv4Header*>(pkt.prepend(sizeof(Ipv4Header)));
+  outer_ip->version_ihl = 0x45;
+  outer_ip->tos = 0;
+  outer_ip->total_length = host_to_be16(static_cast<std::uint16_t>(pkt.size()));
+  outer_ip->id = host_to_be16(static_cast<std::uint16_t>(seq_out_));
+  outer_ip->frag_offset = 0;
+  outer_ip->ttl = 64;
+  outer_ip->protocol = kIpProtoEsp;
+  outer_ip->src = host_to_be32(sa_.tunnel_src);
+  outer_ip->dst = host_to_be32(sa_.tunnel_dst);
+  ipv4_set_checksum(*outer_ip);
+
+  auto* outer_eth = reinterpret_cast<EthernetHeader*>(pkt.prepend(sizeof(EthernetHeader)));
+  *outer_eth = eth;
+
+  ++stats_.encapsulated;
+  return true;
+}
+
+bool IpsecGateway::replay_check_and_update(std::uint32_t seq) {
+  if (seq == 0) return false;
+  if (seq > replay_top_) {
+    const std::uint32_t shift = seq - replay_top_;
+    replay_bits_ = shift >= 64 ? 0 : replay_bits_ << shift;
+    replay_bits_ |= 1;  // mark `seq` itself
+    replay_top_ = seq;
+    return true;
+  }
+  const std::uint32_t offset = replay_top_ - seq;
+  if (offset >= kReplayWindow) return false;  // too old
+  const std::uint64_t bit = 1ULL << offset;
+  if (replay_bits_ & bit) return false;  // replayed
+  replay_bits_ |= bit;
+  return true;
+}
+
+bool IpsecGateway::decap(Packet& pkt) {
+  const std::size_t min_len = sizeof(EthernetHeader) + sizeof(Ipv4Header) + sizeof(EspHeader) +
+                              kIvSize + 16 + kTagSize;
+  if (pkt.size() < min_len) {
+    ++stats_.malformed;
+    return false;
+  }
+  const EthernetHeader eth = *pkt.at<EthernetHeader>(0);
+  const auto* outer_ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
+  if (outer_ip->protocol != kIpProtoEsp || !ipv4_checksum_ok(*outer_ip)) {
+    ++stats_.malformed;
+    return false;
+  }
+
+  pkt.adj(sizeof(EthernetHeader) + sizeof(Ipv4Header));
+
+  // Verify the tag before touching anything else.
+  const std::size_t authed_len = pkt.size() - kTagSize;
+  const auto expect = hmac_.compute96(std::span(pkt.data(), authed_len));
+  if (std::memcmp(expect.data(), pkt.data() + authed_len, kTagSize) != 0) {
+    ++stats_.auth_failures;
+    return false;
+  }
+  pkt.trim(kTagSize);
+
+  const auto* esp = pkt.at<EspHeader>(0);
+  if (be32_to_host(esp->spi) != sa_.spi) {
+    ++stats_.malformed;
+    return false;
+  }
+  const std::uint32_t seq = be32_to_host(esp->sequence);
+  if (!replay_check_and_update(seq)) {
+    ++stats_.replay_drops;
+    return false;
+  }
+
+  std::array<std::uint8_t, kIvSize> iv;
+  std::memcpy(iv.data(), pkt.data() + sizeof(EspHeader), kIvSize);
+  pkt.adj(sizeof(EspHeader) + kIvSize);
+
+  if (pkt.size() % 16 != 0 || pkt.size() == 0) {
+    ++stats_.malformed;
+    return false;
+  }
+  cipher_.decrypt(std::span(pkt.data(), pkt.size()), std::span<const std::uint8_t, 16>(iv),
+                  std::span(pkt.data(), pkt.size()));
+
+  // Validate and strip the ESP trailer.
+  const std::uint8_t next_header = pkt.data()[pkt.size() - 1];
+  const std::uint8_t pad_len = pkt.data()[pkt.size() - 2];
+  if (next_header != 4 || pad_len + 2u > pkt.size()) {
+    ++stats_.malformed;
+    return false;
+  }
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    if (pkt.data()[pkt.size() - 2 - pad_len + i] != static_cast<std::uint8_t>(i + 1)) {
+      ++stats_.malformed;
+      return false;
+    }
+  }
+  pkt.trim(pad_len + 2u);
+
+  // Restore the Ethernet header in front of the inner IP packet.
+  auto* inner_eth = reinterpret_cast<EthernetHeader*>(pkt.prepend(sizeof(EthernetHeader)));
+  *inner_eth = eth;
+
+  ++stats_.decapsulated;
+  return true;
+}
+
+}  // namespace metro::apps

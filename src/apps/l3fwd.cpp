@@ -1,0 +1,72 @@
+#include "apps/l3fwd.hpp"
+
+#include <cstring>
+
+namespace metro::apps {
+
+using namespace metro::net;
+
+L3Forwarder::L3Forwarder(Mode mode, std::size_t em_capacity)
+    : mode_(mode), lpm_(256), em_(em_capacity) {}
+
+std::optional<std::uint16_t> L3Forwarder::route_of(const Packet& pkt, const Ipv4Header& ip) {
+  if (mode_ == Mode::kLpm) {
+    const auto hop = lpm_.lookup(be32_to_host(ip.dst));
+    if (!hop.has_value()) return std::nullopt;
+    return *hop;
+  }
+  FiveTuple tuple;
+  if (!extract_five_tuple(pkt, tuple)) return std::nullopt;
+  return em_.find(tuple);
+}
+
+std::optional<std::uint16_t> L3Forwarder::process(Packet& pkt) {
+  if (pkt.size() < sizeof(EthernetHeader) + sizeof(Ipv4Header)) {
+    drop(L3fwdDrop::kMalformed);
+    return std::nullopt;
+  }
+  auto* eth = pkt.at<EthernetHeader>(0);
+  if (be16_to_host(eth->ether_type) != kEtherTypeIpv4) {
+    drop(L3fwdDrop::kNotIpv4);
+    return std::nullopt;
+  }
+  auto* ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
+  if (ip->header_len() < sizeof(Ipv4Header) ||
+      pkt.size() < sizeof(EthernetHeader) + ip->header_len()) {
+    drop(L3fwdDrop::kMalformed);
+    return std::nullopt;
+  }
+  if (!ipv4_checksum_ok(*ip)) {
+    drop(L3fwdDrop::kBadChecksum);
+    return std::nullopt;
+  }
+  if (ip->ttl <= 1) {
+    drop(L3fwdDrop::kTtlExpired);
+    return std::nullopt;
+  }
+
+  const auto port_index = route_of(pkt, *ip);
+  if (!port_index.has_value() || *port_index >= ports_.size()) {
+    drop(L3fwdDrop::kNoRoute);
+    return std::nullopt;
+  }
+
+  // TTL decrement with incremental checksum update: the TTL shares a
+  // 16-bit checksum word with the protocol field.
+  const std::uint16_t old_word =
+      static_cast<std::uint16_t>((static_cast<std::uint16_t>(ip->ttl) << 8) | ip->protocol);
+  ip->ttl -= 1;
+  const std::uint16_t new_word =
+      static_cast<std::uint16_t>((static_cast<std::uint16_t>(ip->ttl) << 8) | ip->protocol);
+  ip->checksum = host_to_be16(
+      checksum_update16(be16_to_host(ip->checksum), old_word, new_word));
+
+  const OutPort& out = ports_[*port_index];
+  eth->src = out.src_mac;
+  eth->dst = out.dst_mac;
+
+  ++stats_.forwarded;
+  return *port_index;
+}
+
+}  // namespace metro::apps

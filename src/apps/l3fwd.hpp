@@ -1,0 +1,95 @@
+// L3 forwarder (DPDK's l3fwd sample, LPM and exact-match variants).
+//
+// The functional path does everything the real sample does per packet:
+// sanity-check the Ethernet/IPv4 headers, verify the IP checksum, look up
+// the destination (longest-prefix match or exact 5-tuple match), decrement
+// the TTL with an incremental checksum update (RFC 1624) and rewrite the
+// MAC addresses for the output port. The timing simulator charges
+// calib::kL3fwdPerPacketCost per packet instead of running this code
+// inline (see nic/sim_packet.hpp for the rationale).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/exact_match.hpp"
+#include "net/flow.hpp"
+#include "net/headers.hpp"
+#include "net/lpm.hpp"
+#include "net/packet.hpp"
+#include "net/packet_builder.hpp"
+
+namespace metro::apps {
+
+enum class L3fwdDrop {
+  kNone,
+  kNotIpv4,
+  kBadChecksum,
+  kTtlExpired,
+  kNoRoute,
+  kMalformed,
+};
+
+struct L3fwdStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::array<std::uint64_t, 6> drop_reason{};  // indexed by L3fwdDrop
+};
+
+class L3Forwarder {
+ public:
+  enum class Mode { kLpm, kExactMatch };
+
+  struct OutPort {
+    std::uint16_t id = 0;
+    net::MacAddress src_mac{};
+    net::MacAddress dst_mac{};  // next-hop MAC
+  };
+
+  explicit L3Forwarder(Mode mode, std::size_t em_capacity = 4096);
+
+  /// Register an output port; next hops reference ports by index.
+  void add_port(OutPort port) { ports_.push_back(port); }
+
+  /// LPM route (host-order prefix). `port_index` must reference add_port'd.
+  bool add_route(std::uint32_t prefix, int depth, std::uint16_t port_index) {
+    return lpm_.add(prefix, depth, port_index);
+  }
+
+  /// Exact-match route on the full 5-tuple.
+  bool add_em_route(const net::FiveTuple& tuple, std::uint16_t port_index) {
+    return em_.insert(tuple, port_index);
+  }
+
+  /// Forward one packet in place. Returns the output port index, or
+  /// nullopt if the packet was dropped (reason recorded in stats()).
+  std::optional<std::uint16_t> process(net::Packet& pkt);
+
+  const L3fwdStats& stats() const noexcept { return stats_; }
+  Mode mode() const noexcept { return mode_; }
+
+ private:
+  std::optional<std::uint16_t> route_of(const net::Packet& pkt, const net::Ipv4Header& ip);
+  void drop(L3fwdDrop reason) {
+    ++stats_.dropped;
+    ++stats_.drop_reason[static_cast<std::size_t>(reason)];
+  }
+
+  struct TupleHasher {
+    std::uint64_t operator()(const net::FiveTuple& t) const { return net::flow_hash(t); }
+  };
+
+  Mode mode_;
+  net::LpmTable lpm_;
+  net::CuckooTable<net::FiveTuple, std::uint16_t, TupleHasher> em_;
+  std::vector<OutPort> ports_;
+  L3fwdStats stats_;
+};
+
+/// Synthetic test frames (moved to net/packet_builder.hpp; re-exported
+/// here because every l3fwd consumer builds its inputs with it).
+using net::build_udp_packet;
+
+}  // namespace metro::apps

@@ -1,0 +1,34 @@
+// Exponentially weighted moving average — the paper's eq. (11) load
+// estimator: rho(i) = (1 - alpha) rho(i-1) + alpha * B(i)/(V(i) + B(i)).
+#pragma once
+
+namespace metro::core {
+
+class Ewma {
+ public:
+  explicit Ewma(double alpha, double initial = 0.0) : alpha_(alpha), value_(initial) {}
+
+  double update(double sample) {
+    if (!primed_) {
+      value_ = sample;  // avoid a long warm-up from an arbitrary initial
+      primed_ = true;
+    } else {
+      value_ = (1.0 - alpha_) * value_ + alpha_ * sample;
+    }
+    return value_;
+  }
+
+  double value() const noexcept { return value_; }
+  double alpha() const noexcept { return alpha_; }
+  void reset(double value = 0.0) {
+    value_ = value;
+    primed_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_;
+  bool primed_ = false;
+};
+
+}  // namespace metro::core

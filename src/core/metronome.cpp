@@ -1,0 +1,174 @@
+#include "core/metronome.hpp"
+
+#include <string>
+
+namespace metro::core {
+
+using sim::Time;
+namespace calib = sim::calib;
+
+Metronome::Metronome(sim::Simulation& sim, nic::Port& port, std::vector<sim::Core*> cores,
+                     MetronomeConfig cfg)
+    : sim_(sim), port_(port), cores_(std::move(cores)), cfg_(cfg) {
+  const int n = port_.n_rx_queues();
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    auto state = std::make_unique<QueueState>();
+    state->rho = Ewma(cfg_.alpha);
+    // Initial TS: no load observed yet, so the low-load setting M/N * V-bar.
+    state->ts = compute_ts(*state);
+    queues_.push_back(std::move(state));
+  }
+}
+
+Time Metronome::compute_ts(const QueueState& q) const {
+  if (!cfg_.adaptive) return cfg_.fixed_ts;
+  const double target_us = sim::to_micros(cfg_.target_vacation);
+  const double ts_us = model::ts_for_target_multiqueue(target_us, q.rho.value(), cfg_.n_threads,
+                                                       port_.n_rx_queues());
+  return sim::from_micros(ts_us);
+}
+
+void Metronome::start() {
+  if (started_) return;
+  started_ = true;
+  threads_.reserve(static_cast<std::size_t>(cfg_.n_threads));
+  for (int t = 0; t < cfg_.n_threads; ++t) {
+    sim::Core* core = cores_[static_cast<std::size_t>(t) % cores_.size()];
+    const auto ent = core->add_entity("metronome-" + std::to_string(t), -20);
+    threads_.push_back(ThreadRef{core, ent});
+    sleepers_.push_back(std::make_unique<sim::SleepService>(sim_, cfg_.sleep, core));
+    sim_.spawn(thread_task(t));
+  }
+}
+
+sim::Task Metronome::thread_task(int thread_id) {
+  sim::Core& core = *threads_[static_cast<std::size_t>(thread_id)].core;
+  const auto ent = threads_[static_cast<std::size_t>(thread_id)].entity;
+  sim::SleepService& sleeper = *sleepers_[static_cast<std::size_t>(thread_id)];
+  const int n_queues = port_.n_rx_queues();
+  std::vector<nic::PacketDesc> burst(static_cast<std::size_t>(cfg_.burst));
+
+  // Start staggered so wake-up times are decorrelated from the outset.
+  int curr = thread_id % n_queues;
+  co_await sim_.sleep_for(static_cast<Time>(
+      sim_.rng().uniform(0.0, static_cast<double>(cfg_.long_timeout))));
+
+  for (;;) {
+    // Cost of waking up: timer bookkeeping, syscall return, cache refill,
+    // and the trylock CMPXCHG itself.
+    co_await core.run_for(ent, calib::kWakeupOverheadCost + calib::kTrylockCost);
+
+    QueueState& q = *queues_[static_cast<std::size_t>(curr)];
+    ++q.total_tries;
+
+    if (!q.lock.try_lock(thread_id)) {
+      // Busy try: another thread is already unloading this queue.
+      ++q.busy_tries;
+      if (cfg_.primary_backup) {
+        if (cfg_.random_backup && n_queues > 1) {
+          curr = static_cast<int>(sim_.rng().uniform_u64(static_cast<std::uint64_t>(n_queues)));
+        }
+        co_await sleeper.sleep(cfg_.long_timeout);
+      } else {
+        // Equal-timeouts ablation: no backup role, sleep the short timer.
+        co_await sleeper.sleep(q.ts);
+      }
+      continue;
+    }
+
+    // --- busy period ----------------------------------------------------
+    ++q.lock_successes;
+    const Time acquire = sim_.now();
+    const Time vacation = q.last_release >= 0 ? acquire - q.last_release : -1;
+    nic::RxRing& ring = port_.rx_queue(curr);
+    const auto nv = static_cast<double>(ring.size());
+    std::uint64_t drained = 0;
+
+    int n;
+    while ((n = ring.pop_burst(burst.data(), cfg_.burst)) > 0) {
+      drained += static_cast<std::uint64_t>(n);
+      co_await core.run_for(ent, static_cast<Time>(n) * cfg_.per_packet_cost);
+      for (int i = 0; i < n; ++i) port_.tx().send(burst[static_cast<std::size_t>(i)]);
+      q.packets += static_cast<std::uint64_t>(n);
+    }
+    // The final poll that finds the queue empty ends the busy period.
+    co_await core.run_for(ent, calib::kEmptyPollCost);
+
+    const Time release = sim_.now();
+    q.last_release = release;
+    q.lock.unlock(thread_id);
+
+    if (vacation >= 0) {
+      const Time busy = release - acquire;
+      q.vacation_us.add(sim::to_micros(vacation));
+      if (q.vacation_hist != nullptr) q.vacation_hist->add(sim::to_micros(vacation));
+      q.busy_us.add(sim::to_micros(busy));
+      q.nv.add(nv);
+      // Eq. (11): EWMA of the per-cycle load sample B / (V + B), eq. (4).
+      q.rho.update(model::rho_estimate(static_cast<double>(busy), static_cast<double>(vacation)));
+    }
+    q.ts = compute_ts(q);
+
+    // Primary role: re-arm the short timeout; by default contend for the
+    // same queue again (it is likely to win there, §IV-E). A primary whose
+    // busy period drained nothing moves on at random instead — stickiness
+    // has no value on an idle queue, and without this amendment a
+    // deployment with M < N could leave queues permanently unvisited
+    // (trylocks never fail there, so backup hopping never kicks in).
+    const bool stay = cfg_.sticky_primary && drained > 0;
+    if (!stay && n_queues > 1) {
+      curr = static_cast<int>(sim_.rng().uniform_u64(static_cast<std::uint64_t>(n_queues)));
+    }
+    co_await sleeper.sleep(q.ts);
+  }
+}
+
+std::uint64_t Metronome::packets_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q->packets;
+  return total;
+}
+
+std::uint64_t Metronome::total_tries() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q->total_tries;
+  return total;
+}
+
+std::uint64_t Metronome::busy_tries() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q->busy_tries;
+  return total;
+}
+
+double Metronome::busy_try_fraction() const {
+  const auto tries = total_tries();
+  return tries ? static_cast<double>(busy_tries()) / static_cast<double>(tries) : 0.0;
+}
+
+double Metronome::mean_rho() const {
+  double sum = 0.0;
+  for (const auto& q : queues_) sum += q->rho.value();
+  return sum / static_cast<double>(queues_.size());
+}
+
+double Metronome::mean_ts_us() const {
+  double sum = 0.0;
+  for (const auto& q : queues_) sum += sim::to_micros(q->ts);
+  return sum / static_cast<double>(queues_.size());
+}
+
+void Metronome::reset_stats() {
+  for (auto& q : queues_) {
+    q->total_tries = 0;
+    q->busy_tries = 0;
+    q->lock_successes = 0;
+    q->packets = 0;
+    q->vacation_us.reset();
+    q->busy_us.reset();
+    q->nv.reset();
+  }
+}
+
+}  // namespace metro::core

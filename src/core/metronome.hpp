@@ -1,0 +1,143 @@
+// The Metronome runtime (paper §III-B, §IV, Listing 2).
+//
+// M threads cooperatively service the N Rx queues of a port. Each thread
+// loops forever:
+//
+//   wake -> trylock(queue) ->
+//     success: drain the queue until empty (busy period), release, update
+//              the queue's EWMA load estimate rho and its adaptive short
+//              timeout TS (eq. 13 / eq. 14), sleep(TS)   [primary]
+//     failure: count a busy try, pick the next queue at random,
+//              sleep(TL)                                  [backup]
+//
+// All strategy choices the paper motivates are config knobs so the benches
+// can ablate them: the primary/backup timeout diversity (§IV-A), the
+// adaptive TS rule vs a fixed timeout, and the sticky-primary / random-
+// backup queue selection of §IV-E.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ewma.hpp"
+#include "core/model.hpp"
+#include "core/queue_lock.hpp"
+#include "nic/port.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sleep_service.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace metro::core {
+
+struct MetronomeConfig {
+  /// M: number of Metronome threads (paper default for 1 queue: 3).
+  int n_threads = 3;
+  /// Target mean vacation period, V-bar (paper default 10 us; 15 us on
+  /// the 40 GbE multi-queue runs).
+  sim::Time target_vacation = 10 * sim::kMicrosecond;
+  /// TL: backup (long) timeout (paper default 500 us).
+  sim::Time long_timeout = 500 * sim::kMicrosecond;
+  /// EWMA weight for the rho estimator, eq. (11).
+  double alpha = 0.05;
+  /// Per-packet retrieval+processing cost of the hosted application.
+  sim::Time per_packet_cost = sim::calib::kL3fwdPerPacketCost;
+  int burst = sim::calib::kBurstSize;
+  /// Sleep service used by every thread (hr_sleep by default).
+  sim::SleepServiceConfig sleep{};
+
+  // --- strategy knobs (ablation switches; paper defaults below) --------
+  /// Adaptive TS via eq. 13/14. When false, TS = fixed_ts always.
+  bool adaptive = true;
+  sim::Time fixed_ts = 50 * sim::kMicrosecond;
+  /// Primary/backup diversity (§IV-A). When false, the thread sleeps its
+  /// short timeout even after a failed trylock — the "equal timeouts"
+  /// strategy the paper rejects.
+  bool primary_backup = true;
+  /// §IV-E: a primary re-contends the same queue at its next wake-up...
+  bool sticky_primary = true;
+  /// ...while a backup picks its next queue uniformly at random.
+  bool random_backup = true;
+};
+
+/// Per-queue shared state + statistics.
+struct QueueState {
+  QueueLock lock;
+  sim::Time last_release = -1;  // end of the previous busy period
+  Ewma rho{0.05};
+  sim::Time ts;  // current adaptive short timeout for this queue
+
+  // Counters (resettable by the experiment harness).
+  std::uint64_t total_tries = 0;
+  std::uint64_t busy_tries = 0;  // failed trylocks
+  std::uint64_t lock_successes = 0;
+  std::uint64_t packets = 0;
+  stats::Summary vacation_us;
+  stats::Summary busy_us;
+  stats::Summary nv;  // packets found queued at busy-period start
+  /// Optional full vacation-period distribution (Fig. 4); caller-owned.
+  stats::Histogram* vacation_hist = nullptr;
+
+  double busy_try_fraction() const {
+    return total_tries ? static_cast<double>(busy_tries) / static_cast<double>(total_tries) : 0.0;
+  }
+};
+
+class Metronome {
+ public:
+  /// Threads are placed round-robin on `cores` (thread i on
+  /// cores[i % cores.size()]); the port's queue count defines N.
+  Metronome(sim::Simulation& sim, nic::Port& port, std::vector<sim::Core*> cores,
+            MetronomeConfig cfg);
+
+  /// Spawn all M threads. Each starts with a small random stagger so wake
+  /// times decorrelate from t = 0 (they would anyway after a few cycles).
+  void start();
+
+  int n_threads() const noexcept { return cfg_.n_threads; }
+  int n_queues() const noexcept { return port_.n_rx_queues(); }
+  const MetronomeConfig& config() const noexcept { return cfg_; }
+
+  QueueState& queue_state(int q) { return *queues_[static_cast<std::size_t>(q)]; }
+  const QueueState& queue_state(int q) const { return *queues_[static_cast<std::size_t>(q)]; }
+
+  /// Total packets processed across queues.
+  std::uint64_t packets_processed() const;
+  /// Total wake-ups (lock attempts) across queues.
+  std::uint64_t total_tries() const;
+  std::uint64_t busy_tries() const;
+
+  /// Aggregate busy-try fraction over all queues.
+  double busy_try_fraction() const;
+  /// Mean rho over queues (instantaneous EWMA values).
+  double mean_rho() const;
+  /// Mean of the queues' current TS values, in microseconds.
+  double mean_ts_us() const;
+
+  /// Clear counters and summaries after warm-up (keeps rho estimates).
+  void reset_stats();
+
+  /// (core, entity) of every thread, for CPU-usage accounting.
+  struct ThreadRef {
+    sim::Core* core;
+    sim::Core::EntityId entity;
+  };
+  const std::vector<ThreadRef>& threads() const noexcept { return threads_; }
+
+ private:
+  sim::Task thread_task(int thread_id);
+  sim::Time compute_ts(const QueueState& q) const;
+
+  sim::Simulation& sim_;
+  nic::Port& port_;
+  std::vector<sim::Core*> cores_;
+  MetronomeConfig cfg_;
+  std::vector<std::unique_ptr<QueueState>> queues_;
+  std::vector<ThreadRef> threads_;
+  std::vector<std::unique_ptr<sim::SleepService>> sleepers_;  // one per thread
+  bool started_ = false;
+};
+
+}  // namespace metro::core

@@ -1,0 +1,38 @@
+// The per-queue trylock (paper §III-B).
+//
+// On real hardware this is a single CMPXCHG on a cache line dedicated to
+// the queue — see rt/trylock.hpp for the std::atomic implementation the
+// real-thread runtime uses. Inside the (single-threaded) discrete-event
+// simulator the race is resolved by event ordering, so the lock reduces to
+// an owner flag; the calibrated CMPXCHG cost is charged by the Metronome
+// loop via calib::kTrylockCost.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace metro::core {
+
+class QueueLock {
+ public:
+  /// Returns true and takes ownership if the lock was free.
+  bool try_lock(int thread_id) noexcept {
+    if (owner_ >= 0) return false;
+    owner_ = thread_id;
+    return true;
+  }
+
+  void unlock(int thread_id) noexcept {
+    assert(owner_ == thread_id && "unlock by non-owner");
+    (void)thread_id;
+    owner_ = -1;
+  }
+
+  bool locked() const noexcept { return owner_ >= 0; }
+  int owner() const noexcept { return owner_; }
+
+ private:
+  int owner_ = -1;
+};
+
+}  // namespace metro::core

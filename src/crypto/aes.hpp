@@ -1,0 +1,49 @@
+// AES-128 block cipher and CBC mode (FIPS-197 / SP 800-38A).
+//
+// The paper's IPsec gateway encrypts ESP payloads with AES-CBC 128 (the
+// testbed offloads it to the NIC; here it runs in software). This is a
+// straightforward table-free implementation: S-box lookups with on-the-fly
+// MixColumns, fast enough for the functional path (examples/tests); the
+// discrete-event simulator charges the calibrated per-packet cost instead
+// of executing the cipher inline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace metro::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  explicit Aes128(std::span<const std::uint8_t, kKeySize> key);
+
+  void encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const;
+  void decrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, kBlockSize*(kRounds + 1)> round_keys_{};
+};
+
+/// CBC mode over AES-128. Buffers must be multiples of 16 bytes
+/// (the ESP layer applies RFC 4303 padding before calling in).
+class AesCbc {
+ public:
+  AesCbc(std::span<const std::uint8_t, Aes128::kKeySize> key) : cipher_(key) {}
+
+  /// In-place forbidden: in and out may alias only if identical ranges.
+  void encrypt(std::span<const std::uint8_t> in, std::span<const std::uint8_t, 16> iv,
+               std::span<std::uint8_t> out) const;
+  void decrypt(std::span<const std::uint8_t> in, std::span<const std::uint8_t, 16> iv,
+               std::span<std::uint8_t> out) const;
+
+ private:
+  Aes128 cipher_;
+};
+
+}  // namespace metro::crypto

@@ -1,0 +1,142 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace metro::crypto {
+
+namespace {
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+}  // namespace
+
+void Sha1::reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xEFCDAB89;
+  state_[2] = 0x98BADCFE;
+  state_[3] = 0x10325476;
+  state_[4] = 0xC3D2E1F0;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    off += take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    buffered_ = data.size() - off;
+    std::memcpy(buffer_, data.data() + off, buffered_);
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::finish() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(std::span(&pad_byte, 1));
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(std::span(&zero, 1));
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span(len_be, 8));
+
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(i) * 4 + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[static_cast<std::size_t>(i) * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[static_cast<std::size_t>(i) * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[static_cast<std::size_t>(i) * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  reset();
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t block[kBlockSize]) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+HmacSha1::HmacSha1(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, Sha1::kBlockSize> norm_key{};
+  if (key.size() > Sha1::kBlockSize) {
+    const auto digest = Sha1::digest(key);
+    std::memcpy(norm_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(norm_key.data(), key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
+    ipad_key_[i] = norm_key[i] ^ 0x36;
+    opad_key_[i] = norm_key[i] ^ 0x5c;
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> HmacSha1::compute(
+    std::span<const std::uint8_t> data) const {
+  Sha1 inner;
+  inner.update(ipad_key_);
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+  Sha1 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+std::array<std::uint8_t, 12> HmacSha1::compute96(std::span<const std::uint8_t> data) const {
+  const auto full = compute(data);
+  std::array<std::uint8_t, 12> out{};
+  std::memcpy(out.data(), full.data(), out.size());
+  return out;
+}
+
+}  // namespace metro::crypto

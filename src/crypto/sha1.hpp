@@ -1,0 +1,57 @@
+// SHA-1 and HMAC-SHA1 (FIPS 180-4 / RFC 2104).
+//
+// Used by the IPsec gateway for ESP integrity (HMAC-SHA1-96, the standard
+// IPsec truncation). SHA-1 is fine here: this is an authenticity tag inside
+// a reproduction of a 2020 testbed, not new security design.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace metro::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, kDigestSize> digest(std::span<const std::uint8_t> data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t block[kBlockSize]);
+
+  std::uint32_t state_[5]{};
+  std::uint64_t total_bytes_ = 0;
+  std::uint8_t buffer_[kBlockSize]{};
+  std::size_t buffered_ = 0;
+};
+
+/// HMAC-SHA1 (RFC 2104). `truncate` allows HMAC-SHA1-96 (12 bytes) as used
+/// by IPsec ESP authentication.
+class HmacSha1 {
+ public:
+  explicit HmacSha1(std::span<const std::uint8_t> key);
+
+  std::array<std::uint8_t, Sha1::kDigestSize> compute(std::span<const std::uint8_t> data) const;
+
+  /// IPsec-style truncated tag.
+  std::array<std::uint8_t, 12> compute96(std::span<const std::uint8_t> data) const;
+
+ private:
+  std::array<std::uint8_t, Sha1::kBlockSize> ipad_key_{};
+  std::array<std::uint8_t, Sha1::kBlockSize> opad_key_{};
+};
+
+}  // namespace metro::crypto

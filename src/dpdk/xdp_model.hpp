@@ -1,0 +1,42 @@
+// XDP driver model (§V-D comparison).
+//
+// XDP processes packets in the kernel, interrupt-driven with NAPI:
+//   * the NIC raises an IRQ after an interrupt-mitigation window,
+//   * the hardirq schedules a softirq, which runs the NAPI poll loop with
+//     a 64-packet budget; while polling, the IRQ stays masked and the loop
+//     re-polls until the ring drains, then re-enables the interrupt.
+//
+// Each Rx queue is bound 1:1 to a CPU core (XDP cannot share queues across
+// cores, which is why the paper needs 4 cores to approach 10 GbE line rate
+// with xdp_router_ipv4 on ixgbe). Costs are calibrated so the model
+// reproduces Fig. 10's qualitative results: zero CPU at idle, CPU well
+// above Metronome under load (per-interrupt housekeeping), latency
+// comparable at low rate and worse at line rate.
+#pragma once
+
+#include "nic/port.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace metro::dpdk {
+
+struct XdpConfig {
+  sim::Time irq_overhead = sim::calib::kXdpIrqOverhead;
+  sim::Time per_packet_cost = sim::calib::kXdpPerPacketCost;
+  int napi_budget = sim::calib::kXdpNapiBudget;
+  sim::Time irq_mitigation = sim::calib::kXdpIrqMitigation;
+  sim::Time softirq_latency = sim::calib::kXdpSoftirqLatency;
+};
+
+struct XdpStats {
+  std::uint64_t interrupts = 0;
+  std::uint64_t napi_polls = 0;
+  std::uint64_t packets_processed = 0;
+};
+
+/// Spawn the IRQ+NAPI handler for `queue` of `port` on `core`.
+sim::Core::EntityId spawn_xdp_queue(sim::Simulation& sim, nic::Port& port, int queue,
+                                    sim::Core& core, const XdpConfig& cfg, XdpStats& stats);
+
+}  // namespace metro::dpdk

@@ -1,0 +1,34 @@
+// Network byte-order helpers.
+//
+// Header structs store multi-byte fields in network byte order (big
+// endian), as on the wire; these helpers convert explicitly at the access
+// points so the structs can be memcpy'd straight out of packet buffers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace metro::net {
+
+constexpr std::uint16_t bswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr std::uint32_t bswap32(std::uint32_t v) {
+  return ((v & 0x000000ffU) << 24) | ((v & 0x0000ff00U) << 8) | ((v & 0x00ff0000U) >> 8) |
+         ((v & 0xff000000U) >> 24);
+}
+
+constexpr std::uint16_t host_to_be16(std::uint16_t v) {
+  if constexpr (std::endian::native == std::endian::little) return bswap16(v);
+  return v;
+}
+constexpr std::uint16_t be16_to_host(std::uint16_t v) { return host_to_be16(v); }
+
+constexpr std::uint32_t host_to_be32(std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) return bswap32(v);
+  return v;
+}
+constexpr std::uint32_t be32_to_host(std::uint32_t v) { return host_to_be32(v); }
+
+}  // namespace metro::net

@@ -1,0 +1,70 @@
+// 5-tuple flow identity and hashing.
+//
+// Used by the exact-match l3fwd variant, the FloWatcher flow table, and
+// (via Toeplitz in nic/rss.hpp) by RSS queue selection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace metro::net {
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;  // host order
+  std::uint32_t dst_ip = 0;  // host order
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  bool operator==(const FiveTuple&) const = default;
+};
+
+/// Extract the 5-tuple from an Ethernet/IPv4/{UDP,TCP} packet.
+/// Returns false for anything else.
+inline bool extract_five_tuple(const Packet& pkt, FiveTuple& out) {
+  if (pkt.size() < sizeof(EthernetHeader) + sizeof(Ipv4Header)) return false;
+  const auto* eth = pkt.at<EthernetHeader>(0);
+  if (be16_to_host(eth->ether_type) != kEtherTypeIpv4) return false;
+  const auto* ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
+  out.src_ip = be32_to_host(ip->src);
+  out.dst_ip = be32_to_host(ip->dst);
+  out.protocol = ip->protocol;
+  const std::size_t l4_off = sizeof(EthernetHeader) + ip->header_len();
+  if (ip->protocol == kIpProtoUdp || ip->protocol == kIpProtoTcp) {
+    if (pkt.size() < l4_off + 4) return false;
+    // Ports sit at the same offsets in UDP and TCP.
+    const auto* ports = pkt.at<std::uint16_t>(l4_off);
+    out.src_port = be16_to_host(ports[0]);
+    out.dst_port = be16_to_host(ports[1]);
+  } else {
+    out.src_port = 0;
+    out.dst_port = 0;
+  }
+  return true;
+}
+
+/// 64-bit mix hash of the 5-tuple (SplitMix-style finalizer). Fast and
+/// well distributed; used for flow tables (Toeplitz is used for RSS).
+inline std::uint64_t flow_hash(const FiveTuple& t) {
+  std::uint64_t h = (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip;
+  h ^= (static_cast<std::uint64_t>(t.src_port) << 24) ^
+       (static_cast<std::uint64_t>(t.dst_port) << 8) ^ t.protocol;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace metro::net
+
+template <>
+struct std::hash<metro::net::FiveTuple> {
+  std::size_t operator()(const metro::net::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(metro::net::flow_hash(t));
+  }
+};

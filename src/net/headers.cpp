@@ -1,0 +1,39 @@
+#include "net/headers.hpp"
+
+namespace metro::net {
+
+std::uint16_t internet_checksum(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t sum = 0;
+  while (len >= 2) {
+    std::uint16_t word;
+    std::memcpy(&word, bytes, 2);
+    sum += be16_to_host(word);
+    bytes += 2;
+    len -= 2;
+  }
+  if (len == 1) sum += static_cast<std::uint32_t>(*bytes) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+void ipv4_set_checksum(Ipv4Header& ip) {
+  ip.checksum = 0;
+  ip.checksum = host_to_be16(internet_checksum(&ip, ip.header_len()));
+}
+
+bool ipv4_checksum_ok(const Ipv4Header& ip) {
+  return internet_checksum(&ip, ip.header_len()) == 0;
+}
+
+std::uint16_t checksum_update16(std::uint16_t old_checksum, std::uint16_t old_field,
+                                std::uint16_t new_field) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_field);
+  sum += new_field;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace metro::net

@@ -1,0 +1,99 @@
+// Wire-format protocol headers: Ethernet, IPv4, UDP, TCP, ESP.
+//
+// All structs are packed wire layouts; multi-byte fields are big endian and
+// must be accessed through the byteorder helpers. Checksum routines
+// implement RFC 1071 (one's-complement sum) including the incremental
+// update used by the l3fwd TTL decrement (RFC 1624).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "net/byteorder.hpp"
+
+namespace metro::net {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+#pragma pack(push, 1)
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type;  // big endian
+};
+static_assert(sizeof(EthernetHeader) == 14);
+
+struct Ipv4Header {
+  std::uint8_t version_ihl;    // 0x45 for a 20-byte header
+  std::uint8_t tos;
+  std::uint16_t total_length;  // big endian
+  std::uint16_t id;            // big endian
+  std::uint16_t frag_offset;   // big endian
+  std::uint8_t ttl;
+  std::uint8_t protocol;
+  std::uint16_t checksum;      // big endian
+  std::uint32_t src;           // big endian
+  std::uint32_t dst;           // big endian
+
+  std::uint8_t header_len() const { return static_cast<std::uint8_t>((version_ihl & 0x0f) * 4); }
+};
+static_assert(sizeof(Ipv4Header) == 20);
+
+struct UdpHeader {
+  std::uint16_t src_port;  // big endian
+  std::uint16_t dst_port;  // big endian
+  std::uint16_t length;    // big endian
+  std::uint16_t checksum;  // big endian
+};
+static_assert(sizeof(UdpHeader) == 8);
+
+struct TcpHeader {
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint32_t seq;
+  std::uint32_t ack;
+  std::uint8_t data_offset;  // upper nibble = header length in words
+  std::uint8_t flags;
+  std::uint16_t window;
+  std::uint16_t checksum;
+  std::uint16_t urgent;
+};
+static_assert(sizeof(TcpHeader) == 20);
+
+/// IPsec Encapsulating Security Payload header (RFC 4303).
+struct EspHeader {
+  std::uint32_t spi;       // big endian
+  std::uint32_t sequence;  // big endian
+};
+static_assert(sizeof(EspHeader) == 8);
+
+#pragma pack(pop)
+
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint8_t kIpProtoEsp = 50;
+
+/// RFC 1071 one's-complement checksum over `len` bytes.
+std::uint16_t internet_checksum(const void* data, std::size_t len);
+
+/// Compute and store the IPv4 header checksum (checksum field zeroed first).
+void ipv4_set_checksum(Ipv4Header& ip);
+
+/// Verify the IPv4 header checksum.
+bool ipv4_checksum_ok(const Ipv4Header& ip);
+
+/// RFC 1624 incremental checksum update for a 16-bit field change.
+std::uint16_t checksum_update16(std::uint16_t old_checksum, std::uint16_t old_field,
+                                std::uint16_t new_field);
+
+/// Build a dotted-quad IPv4 address as a host-order uint32.
+constexpr std::uint32_t ipv4_addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  return (static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+}  // namespace metro::net

@@ -1,0 +1,181 @@
+#include "net/lpm.hpp"
+
+#include <algorithm>
+
+namespace metro::net {
+
+namespace {
+constexpr std::size_t kTbl24Size = 1u << 24;
+constexpr std::size_t kTbl8GroupSize = 256;
+}  // namespace
+
+LpmTable::LpmTable(std::size_t max_tbl8_groups)
+    : tbl24_(kTbl24Size, Entry{0, 0, 0, 0}),
+      tbl8_(max_tbl8_groups * kTbl8GroupSize, Entry{0, 0, 0, 0}),
+      group_used_(max_tbl8_groups, false) {}
+
+const LpmTable::Rule* LpmTable::find_rule(std::uint32_t prefix, int depth) const {
+  for (const auto& r : rules_) {
+    if (r.depth == depth && r.prefix == prefix) return &r;
+  }
+  return nullptr;
+}
+
+const LpmTable::Rule* LpmTable::covering_rule(std::uint32_t ip, int depth) const {
+  const Rule* best = nullptr;
+  for (const auto& r : rules_) {
+    if (r.depth >= depth) continue;
+    if ((ip & mask_of(r.depth)) != r.prefix) continue;
+    if (best == nullptr || r.depth > best->depth) best = &r;
+  }
+  return best;
+}
+
+int LpmTable::alloc_tbl8(const Entry& background) {
+  for (std::size_t g = 0; g < group_used_.size(); ++g) {
+    if (group_used_[g]) continue;
+    group_used_[g] = true;
+    ++used_groups_;
+    auto* base = &tbl8_[g * kTbl8GroupSize];
+    std::fill(base, base + kTbl8GroupSize, background);
+    return static_cast<int>(g);
+  }
+  return -1;
+}
+
+void LpmTable::free_tbl8(int group) {
+  group_used_[static_cast<std::size_t>(group)] = false;
+  --used_groups_;
+}
+
+void LpmTable::paint24(std::uint32_t ip, int depth, Entry paint) {
+  // Range of tbl24 slots covered by the (<= /24) prefix.
+  const std::uint32_t first = (ip & mask_of(depth)) >> 8;
+  const std::uint32_t count = 1u << (24 - depth);
+  for (std::uint32_t i = first; i < first + count; ++i) {
+    Entry& e = tbl24_[i];
+    if (e.valid && e.ext) {
+      // Repaint the group's background (entries painted by shorter or
+      // equal depth), preserving longer sub-prefixes inside the group.
+      auto* base = &tbl8_[e.value * kTbl8GroupSize];
+      for (std::size_t j = 0; j < kTbl8GroupSize; ++j) {
+        if (!base[j].valid || base[j].depth <= depth) {
+          base[j] = paint;
+        }
+      }
+    } else if (!e.valid || e.depth <= depth) {
+      e = paint;
+    }
+  }
+}
+
+void LpmTable::paint8(int group, std::uint32_t ip, int depth, Entry paint) {
+  auto* base = &tbl8_[static_cast<std::size_t>(group) * kTbl8GroupSize];
+  const std::uint32_t first = (ip & mask_of(depth)) & 0xff;
+  const std::uint32_t count = 1u << (32 - depth);
+  for (std::uint32_t j = first; j < first + count; ++j) {
+    if (!base[j].valid || base[j].depth <= depth) base[j] = paint;
+  }
+}
+
+bool LpmTable::add(std::uint32_t ip, int depth, NextHop next_hop) {
+  if (depth < 1 || depth > kMaxDepth) return false;
+  const std::uint32_t prefix = ip & mask_of(depth);
+
+  if (const Rule* existing = find_rule(prefix, depth); existing != nullptr) {
+    const_cast<Rule*>(existing)->next_hop = next_hop;
+  } else {
+    rules_.push_back(Rule{prefix, depth, next_hop});
+  }
+
+  const Entry paint{1, 0, static_cast<std::uint32_t>(depth), next_hop};
+  if (depth <= 24) {
+    paint24(prefix, depth, paint);
+    return true;
+  }
+
+  // Depth > 24: ensure the covering tbl24 slot is extended.
+  const std::uint32_t idx24 = prefix >> 8;
+  Entry& top = tbl24_[idx24];
+  if (!(top.valid && top.ext)) {
+    const Entry background = top;  // may be invalid or a <= /24 route
+    const int group = alloc_tbl8(background);
+    if (group < 0) {
+      // Roll back the rule insertion on table exhaustion.
+      std::erase_if(rules_, [&](const Rule& r) { return r.depth == depth && r.prefix == prefix; });
+      return false;
+    }
+    top = Entry{1, 1, 0, static_cast<std::uint32_t>(group)};
+  }
+  paint8(static_cast<int>(top.value), prefix, depth, paint);
+  return true;
+}
+
+bool LpmTable::remove(std::uint32_t ip, int depth) {
+  if (depth < 1 || depth > kMaxDepth) return false;
+  const std::uint32_t prefix = ip & mask_of(depth);
+  const auto it = std::find_if(rules_.begin(), rules_.end(), [&](const Rule& r) {
+    return r.depth == depth && r.prefix == prefix;
+  });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+
+  // Backfill paint: next-longest covering rule, or invalid.
+  const Rule* cover = covering_rule(prefix, depth);
+  Entry paint{0, 0, 0, 0};
+  if (cover != nullptr) {
+    paint = Entry{1, 0, static_cast<std::uint32_t>(cover->depth), cover->next_hop};
+  }
+
+  if (depth <= 24) {
+    // Repaint slots whose painter was exactly this rule.
+    const std::uint32_t first = prefix >> 8;
+    const std::uint32_t count = 1u << (24 - depth);
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      Entry& e = tbl24_[i];
+      if (e.valid && e.ext) {
+        auto* base = &tbl8_[e.value * kTbl8GroupSize];
+        for (std::size_t j = 0; j < kTbl8GroupSize; ++j) {
+          if (base[j].valid && !base[j].ext && base[j].depth == static_cast<std::uint32_t>(depth)) {
+            base[j] = paint;
+          }
+        }
+      } else if (e.valid && e.depth == static_cast<std::uint32_t>(depth)) {
+        e = paint;
+      }
+    }
+    return true;
+  }
+
+  const std::uint32_t idx24 = prefix >> 8;
+  Entry& top = tbl24_[idx24];
+  if (!(top.valid && top.ext)) return true;  // nothing painted (shouldn't happen)
+  const int group = static_cast<int>(top.value);
+  auto* base = &tbl8_[static_cast<std::size_t>(group) * kTbl8GroupSize];
+  const std::uint32_t first = prefix & 0xff;
+  const std::uint32_t count = 1u << (32 - depth);
+  for (std::uint32_t j = first; j < first + count; ++j) {
+    if (base[j].valid && base[j].depth == static_cast<std::uint32_t>(depth)) base[j] = paint;
+  }
+
+  // Collapse the group back into tbl24 if no > /24 entries remain.
+  const bool has_long = std::any_of(base, base + kTbl8GroupSize,
+                                    [](const Entry& e) { return e.valid && e.depth > 24; });
+  if (!has_long) {
+    // All entries share the background (some <= /24 cover or invalid).
+    top = base[0];
+    free_tbl8(group);
+  }
+  return true;
+}
+
+std::optional<LpmTable::NextHop> LpmTable::lookup(std::uint32_t ip) const {
+  const Entry e = tbl24_[ip >> 8];
+  if (!e.valid) return std::nullopt;
+  if (!e.ext) return static_cast<NextHop>(e.value);
+  const Entry e8 = tbl8_[e.value * kTbl8GroupSize + (ip & 0xff)];
+  if (!e8.valid) return std::nullopt;
+  return static_cast<NextHop>(e8.value);
+}
+
+}  // namespace metro::net

@@ -1,0 +1,79 @@
+// DIR-24-8 longest-prefix-match table (the algorithm behind rte_lpm).
+//
+// Lookup is one memory access for prefixes up to /24 (a 2^24-entry first
+// table indexed by the top 24 address bits) and two for longer prefixes
+// (an "extended" first-level entry points into a 256-entry second-level
+// group indexed by the last byte). Add and delete maintain per-entry
+// depths so overlapping prefixes resolve to the longest match, exactly as
+// in DPDK's implementation; a shadow rule list supports delete-with-
+// backfill (a deleted prefix's range is repainted with the next-longest
+// covering rule).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace metro::net {
+
+class LpmTable {
+ public:
+  using NextHop = std::uint16_t;
+  static constexpr int kMaxDepth = 32;
+
+  /// `max_tbl8_groups`: capacity for >/24 prefixes (DPDK default 256).
+  explicit LpmTable(std::size_t max_tbl8_groups = 256);
+
+  /// Insert or update a route. `ip` is in host order; `depth` in [1, 32].
+  /// Returns false if depth is invalid or tbl8 space is exhausted.
+  bool add(std::uint32_t ip, int depth, NextHop next_hop);
+
+  /// Remove a route. Returns false if no such (prefix, depth) rule exists.
+  bool remove(std::uint32_t ip, int depth);
+
+  /// Longest-prefix lookup. nullopt on miss.
+  std::optional<NextHop> lookup(std::uint32_t ip) const;
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+  std::size_t tbl8_groups_in_use() const noexcept { return used_groups_; }
+
+ private:
+  struct Entry {
+    // valid=0 means miss. When ext=1, value indexes a tbl8 group;
+    // otherwise it is the next hop. depth = prefix length that painted
+    // this entry (0 for the tbl8 "inherited" background).
+    std::uint32_t valid : 1;
+    std::uint32_t ext : 1;
+    std::uint32_t depth : 6;
+    std::uint32_t value : 24;
+  };
+  static_assert(sizeof(Entry) == 4);
+
+  struct Rule {
+    std::uint32_t prefix;  // masked network address, host order
+    int depth;
+    NextHop next_hop;
+  };
+
+  static std::uint32_t mask_of(int depth) {
+    return depth == 0 ? 0 : ~std::uint32_t{0} << (32 - depth);
+  }
+
+  const Rule* find_rule(std::uint32_t prefix, int depth) const;
+  /// Longest rule strictly shorter than `depth` covering `ip`.
+  const Rule* covering_rule(std::uint32_t ip, int depth) const;
+
+  int alloc_tbl8(const Entry& background);
+  void free_tbl8(int group);
+
+  void paint24(std::uint32_t ip, int depth, Entry paint);
+  void paint8(int group, std::uint32_t ip, int depth, Entry paint);
+
+  std::vector<Entry> tbl24_;
+  std::vector<Entry> tbl8_;         // max_groups * 256 entries
+  std::vector<bool> group_used_;
+  std::size_t used_groups_ = 0;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace metro::net

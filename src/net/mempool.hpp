@@ -1,0 +1,56 @@
+// Fixed-size packet buffer pool (rte_mempool analogue).
+//
+// All buffers are allocated once up front (DPDK does this from hugepages);
+// alloc/free push and pop a freelist and never touch the system allocator
+// on the fast path. Exhaustion returns nullptr, exactly like
+// rte_pktmbuf_alloc on an empty pool — callers must handle it (the NIC
+// model counts it as an allocation drop).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace metro::net {
+
+class Mempool {
+ public:
+  explicit Mempool(std::size_t capacity) : storage_(capacity) {
+    free_.reserve(capacity);
+    for (auto& p : storage_) free_.push_back(&p);
+  }
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  /// Pop a pristine buffer, or nullptr when exhausted.
+  Packet* alloc() {
+    if (free_.empty()) {
+      ++alloc_failures_;
+      return nullptr;
+    }
+    Packet* p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+
+  /// Return a buffer to the pool. `p` must have come from this pool.
+  void free(Packet* p) {
+    p->reset();
+    free_.push_back(p);
+  }
+
+  std::size_t capacity() const noexcept { return storage_.size(); }
+  std::size_t available() const noexcept { return free_.size(); }
+  std::size_t in_use() const noexcept { return storage_.size() - free_.size(); }
+  std::size_t alloc_failures() const noexcept { return alloc_failures_; }
+
+ private:
+  std::vector<Packet> storage_;
+  std::vector<Packet*> free_;
+  std::size_t alloc_failures_ = 0;
+};
+
+}  // namespace metro::net

@@ -1,0 +1,39 @@
+#include "net/packet_builder.hpp"
+
+#include "net/headers.hpp"
+
+namespace metro::net {
+
+void build_udp_packet(Packet& pkt, const FiveTuple& tuple, std::size_t wire_size,
+                      std::uint8_t ttl) {
+  const std::size_t frame = wire_size >= 4 ? wire_size - 4 : wire_size;
+  const std::size_t min_frame = sizeof(EthernetHeader) + sizeof(Ipv4Header) + sizeof(UdpHeader);
+  const std::size_t total = frame < min_frame ? min_frame : frame;
+  pkt.fill(0, total);
+
+  auto* eth = pkt.at<EthernetHeader>(0);
+  eth->dst = MacAddress{0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  eth->src = MacAddress{0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  eth->ether_type = host_to_be16(kEtherTypeIpv4);
+
+  auto* ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
+  ip->version_ihl = 0x45;
+  ip->tos = 0;
+  ip->total_length = host_to_be16(static_cast<std::uint16_t>(total - sizeof(EthernetHeader)));
+  ip->id = host_to_be16(0x1234);
+  ip->frag_offset = 0;
+  ip->ttl = ttl;
+  ip->protocol = tuple.protocol ? tuple.protocol : kIpProtoUdp;
+  ip->src = host_to_be32(tuple.src_ip);
+  ip->dst = host_to_be32(tuple.dst_ip);
+  ipv4_set_checksum(*ip);
+
+  auto* udp = pkt.at<UdpHeader>(sizeof(EthernetHeader) + sizeof(Ipv4Header));
+  udp->src_port = host_to_be16(tuple.src_port);
+  udp->dst_port = host_to_be16(tuple.dst_port);
+  udp->length = host_to_be16(
+      static_cast<std::uint16_t>(total - sizeof(EthernetHeader) - sizeof(Ipv4Header)));
+  udp->checksum = 0;  // optional for IPv4
+}
+
+}  // namespace metro::net

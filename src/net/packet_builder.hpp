@@ -1,0 +1,20 @@
+// Synthetic packet construction.
+//
+// Builds well-formed Ethernet/IPv4/UDP frames from a 5-tuple — the frames
+// the tests, examples, trace synthesiser and functional benchmarks all
+// share. `wire_size` includes the 4-byte FCS, which (as with a real NIC)
+// is not carried in the buffer: a 64 B wire frame yields 60 B of data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+
+namespace metro::net {
+
+void build_udp_packet(Packet& pkt, const FiveTuple& tuple, std::size_t wire_size = 64,
+                      std::uint8_t ttl = 64);
+
+}  // namespace metro::net

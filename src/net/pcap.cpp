@@ -1,0 +1,111 @@
+#include "net/pcap.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace metro::net {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  // Host byte order, as pcap writers conventionally do.
+  out.write(reinterpret_cast<const char*>(&v), 4);
+}
+void put_u16(std::ostream& out, std::uint16_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 2);
+}
+
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0xffu) << 24) | ((v & 0xff00u) << 8) | ((v >> 8) & 0xff00u) | (v >> 24);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen) : out_(out), snaplen_(snaplen) {
+  put_u32(out_, kMagicMicro);
+  put_u16(out_, 2);   // version major
+  put_u16(out_, 4);   // version minor
+  put_u32(out_, 0);   // thiszone
+  put_u32(out_, 0);   // sigfigs
+  put_u32(out_, snaplen_);
+  put_u32(out_, kLinkTypeEthernet);
+}
+
+void PcapWriter::write(const PcapPacket& pkt) {
+  const auto secs = static_cast<std::uint32_t>(pkt.timestamp_ns / 1'000'000'000);
+  const auto micros = static_cast<std::uint32_t>((pkt.timestamp_ns % 1'000'000'000) / 1000);
+  const auto caplen =
+      static_cast<std::uint32_t>(std::min<std::size_t>(pkt.data.size(), snaplen_));
+  put_u32(out_, secs);
+  put_u32(out_, micros);
+  put_u32(out_, caplen);
+  put_u32(out_, static_cast<std::uint32_t>(pkt.data.size()));
+  out_.write(reinterpret_cast<const char*>(pkt.data.data()), caplen);
+  ++count_;
+}
+
+std::uint32_t PcapReader::u32(const std::uint8_t* p) const {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return swapped_ ? swap32(v) : v;
+}
+
+PcapReader::PcapReader(std::istream& in) : in_(in) {
+  std::array<std::uint8_t, 24> header;
+  in_.read(reinterpret_cast<char*>(header.data()), static_cast<std::streamsize>(header.size()));
+  if (in_.gcount() != 24) throw std::runtime_error("pcap: truncated global header");
+  std::uint32_t magic;
+  std::memcpy(&magic, header.data(), 4);
+  switch (magic) {
+    case kMagicMicro:
+      break;
+    case kMagicNano:
+      nanosecond_ = true;
+      break;
+    case kMagicMicroSwapped:
+      swapped_ = true;
+      break;
+    case kMagicNanoSwapped:
+      swapped_ = true;
+      nanosecond_ = true;
+      break;
+    default:
+      throw std::runtime_error("pcap: bad magic");
+  }
+  snaplen_ = u32(header.data() + 16);
+}
+
+bool PcapReader::next(PcapPacket& out) {
+  std::array<std::uint8_t, 16> rec;
+  in_.read(reinterpret_cast<char*>(rec.data()), static_cast<std::streamsize>(rec.size()));
+  if (in_.gcount() == 0) return false;  // clean EOF
+  if (in_.gcount() != 16) throw std::runtime_error("pcap: truncated record header");
+  const std::uint32_t secs = u32(rec.data());
+  const std::uint32_t frac = u32(rec.data() + 4);
+  const std::uint32_t caplen = u32(rec.data() + 8);
+  out.timestamp_ns = static_cast<std::int64_t>(secs) * 1'000'000'000 +
+                     static_cast<std::int64_t>(frac) * (nanosecond_ ? 1 : 1000);
+  out.data.resize(caplen);
+  in_.read(reinterpret_cast<char*>(out.data.data()), caplen);
+  if (in_.gcount() != static_cast<std::streamsize>(caplen)) {
+    throw std::runtime_error("pcap: truncated packet data");
+  }
+  return true;
+}
+
+std::vector<PcapPacket> PcapReader::read_all(std::istream& in) {
+  PcapReader reader(in);
+  std::vector<PcapPacket> packets;
+  PcapPacket pkt;
+  while (reader.next(pkt)) packets.push_back(pkt);
+  return packets;
+}
+
+}  // namespace metro::net

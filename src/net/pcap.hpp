@@ -1,0 +1,60 @@
+// Minimal pcap file support (classic libpcap format, magic 0xa1b2c3d4).
+//
+// §V-F.4 drives the unbalanced multi-queue experiment from a 1000-packet
+// pcap file replayed in a loop. This module writes and reads that format
+// so the workload can be built exactly the same way: synthesise a trace
+// with the wanted flow mix, persist it, and replay it through the
+// generator (tgen/trace.hpp). Microsecond timestamps, Ethernet link type.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace metro::net {
+
+struct PcapPacket {
+  std::int64_t timestamp_ns = 0;
+  std::vector<std::uint8_t> data;  // captured bytes (we never truncate)
+};
+
+class PcapWriter {
+ public:
+  /// Writes the global header immediately. `snaplen` caps caplen fields.
+  explicit PcapWriter(std::ostream& out, std::uint32_t snaplen = 65535);
+
+  void write(const PcapPacket& pkt);
+  std::size_t packets_written() const noexcept { return count_; }
+
+ private:
+  std::ostream& out_;
+  std::uint32_t snaplen_;
+  std::size_t count_ = 0;
+};
+
+class PcapReader {
+ public:
+  /// Parses the global header; throws std::runtime_error on a bad magic.
+  explicit PcapReader(std::istream& in);
+
+  /// Read the next record. Returns false at a clean end of file; throws on
+  /// a truncated record.
+  bool next(PcapPacket& out);
+
+  /// Convenience: read a whole file.
+  static std::vector<PcapPacket> read_all(std::istream& in);
+
+  bool byte_swapped() const noexcept { return swapped_; }
+  std::uint32_t snaplen() const noexcept { return snaplen_; }
+
+ private:
+  std::uint32_t u32(const std::uint8_t* p) const;
+  std::istream& in_;
+  bool swapped_ = false;
+  bool nanosecond_ = false;
+  std::uint32_t snaplen_ = 0;
+};
+
+}  // namespace metro::net

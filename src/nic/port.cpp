@@ -1,0 +1,60 @@
+#include "nic/port.hpp"
+
+#include <algorithm>
+
+namespace metro::nic {
+
+PortConfig x520_config(int n_queues) {
+  PortConfig cfg;
+  cfg.n_rx_queues = n_queues;
+  cfg.rx_ring_size = sim::calib::kX520DefaultRingSize;
+  cfg.max_pps = 0.0;  // generator never exceeds 14.88 Mpps line rate
+  return cfg;
+}
+
+PortConfig xl710_config(int n_queues) {
+  PortConfig cfg;
+  cfg.n_rx_queues = n_queues;
+  cfg.rx_ring_size = sim::calib::kXl710DefaultRingSize;
+  cfg.max_pps = sim::calib::kXl710MaxMpps * 1e6;
+  return cfg;
+}
+
+Port::Port(sim::Simulation& sim, PortConfig cfg, TxRing::TxCallback on_tx)
+    : sim_(sim),
+      cfg_(cfg),
+      reta_(cfg.n_rx_queues),
+      tx_ring_(sim, cfg.tx_batch, std::move(on_tx)) {
+  rx_.reserve(static_cast<std::size_t>(cfg.n_rx_queues));
+  for (int i = 0; i < cfg.n_rx_queues; ++i) {
+    rx_.push_back(std::make_unique<RxRing>(sim, cfg.rx_ring_size));
+  }
+  if (cfg.max_pps > 0.0) {
+    per_packet_ns_ = static_cast<sim::Time>(1e9 / cfg.max_pps);
+  }
+}
+
+bool Port::rx(PacketDesc pkt) {
+  // Device-level processing cap (XL710 spec update #13): packets arriving
+  // faster than the device can process are dropped at the MAC. Credit
+  // accounting (next_accept_ advances by the per-packet budget, not to the
+  // arrival time) makes the sustained accept rate exactly max_pps.
+  if (per_packet_ns_ > 0) {
+    if (pkt.arrival < next_accept_) {
+      ++cap_drops_;
+      return false;
+    }
+    next_accept_ = std::max(pkt.arrival - per_packet_ns_, next_accept_) + per_packet_ns_;
+  }
+  ++total_rx_;
+  const std::uint16_t q = reta_.queue_for(pkt.rss_hash);
+  return rx_[q]->push(pkt);
+}
+
+std::uint64_t Port::total_dropped() const {
+  std::uint64_t drops = cap_drops_;
+  for (const auto& ring : rx_) drops += ring->total_dropped();
+  return drops;
+}
+
+}  // namespace metro::nic

@@ -1,0 +1,66 @@
+// Simulated NIC port: RSS dispatch onto N Rx queues plus a Tx side.
+//
+// Models the Intel X520 (10 GbE, default single queue, 512-descriptor
+// rings) and XL710 (40 GbE, multi-queue, capped at ~37 Mpps aggregate
+// processing by the device itself — spec update #13, which the paper hits
+// in §V-F). Traffic sources push descriptors through `rx()`; the port
+// hashes them onto a queue via the RETA and tail-drops on full rings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nic/rings.hpp"
+#include "nic/rss.hpp"
+#include "nic/sim_packet.hpp"
+#include "sim/calibration.hpp"
+#include "sim/simulation.hpp"
+
+namespace metro::nic {
+
+struct PortConfig {
+  int n_rx_queues = 1;
+  int rx_ring_size = sim::calib::kX520DefaultRingSize;
+  int tx_batch = sim::calib::kTxBatchDefault;
+  /// Aggregate device processing cap in packets/s (0 = uncapped).
+  /// XL710: ~37 Mpps regardless of configured rate.
+  double max_pps = 0.0;
+};
+
+/// Factory presets matching the paper's two NICs.
+PortConfig x520_config(int n_queues = 1);
+PortConfig xl710_config(int n_queues);
+
+class Port {
+ public:
+  Port(sim::Simulation& sim, PortConfig cfg, TxRing::TxCallback on_tx = {});
+
+  int n_rx_queues() const noexcept { return static_cast<int>(rx_.size()); }
+  RxRing& rx_queue(int i) { return *rx_[static_cast<std::size_t>(i)]; }
+  TxRing& tx() noexcept { return tx_ring_; }
+  const PortConfig& config() const noexcept { return cfg_; }
+
+  /// NIC-side ingress: RSS-dispatch one descriptor. Returns false if the
+  /// packet was dropped (ring full or device cap exceeded).
+  bool rx(PacketDesc pkt);
+
+  // --- counters ---------------------------------------------------------
+  std::uint64_t total_rx() const noexcept { return total_rx_; }
+  std::uint64_t total_dropped() const;
+  std::uint64_t device_cap_drops() const noexcept { return cap_drops_; }
+
+ private:
+  sim::Simulation& sim_;
+  PortConfig cfg_;
+  RssReta reta_;
+  std::vector<std::unique_ptr<RxRing>> rx_;
+  TxRing tx_ring_;
+  std::uint64_t total_rx_ = 0;
+  std::uint64_t cap_drops_ = 0;
+  /// Device pacing: earliest time the NIC can accept the next packet.
+  sim::Time next_accept_ = 0;
+  sim::Time per_packet_ns_ = 0;  // 1/max_pps, 0 if uncapped
+};
+
+}  // namespace metro::nic

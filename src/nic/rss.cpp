@@ -1,0 +1,58 @@
+#include "nic/rss.hpp"
+
+namespace metro::nic {
+
+std::uint32_t toeplitz_hash(const std::uint8_t* data, std::size_t len,
+                            const std::array<std::uint8_t, 40>& key) {
+  std::uint32_t result = 0;
+  // Sliding 32-bit window of the key, advanced one bit per input bit.
+  std::uint32_t window = (static_cast<std::uint32_t>(key[0]) << 24) |
+                         (static_cast<std::uint32_t>(key[1]) << 16) |
+                         (static_cast<std::uint32_t>(key[2]) << 8) |
+                         static_cast<std::uint32_t>(key[3]);
+  std::size_t next_key_byte = 4;
+  std::uint8_t pending = next_key_byte < key.size() ? key[next_key_byte] : 0;
+  int pending_bits = 8;
+
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t byte = data[i];
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) result ^= window;
+      // Shift the window left by one, pulling the next key bit in.
+      window <<= 1;
+      if (pending_bits > 0) {
+        window |= (pending >> 7) & 1;
+        pending = static_cast<std::uint8_t>(pending << 1);
+        --pending_bits;
+      }
+      if (pending_bits == 0) {
+        ++next_key_byte;
+        if (next_key_byte < key.size()) {
+          pending = key[next_key_byte];
+          pending_bits = 8;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::uint32_t rss_hash_ipv4(std::uint32_t src_ip, std::uint32_t dst_ip, std::uint16_t src_port,
+                            std::uint16_t dst_port, const std::array<std::uint8_t, 40>& key) {
+  std::uint8_t input[12];
+  input[0] = static_cast<std::uint8_t>(src_ip >> 24);
+  input[1] = static_cast<std::uint8_t>(src_ip >> 16);
+  input[2] = static_cast<std::uint8_t>(src_ip >> 8);
+  input[3] = static_cast<std::uint8_t>(src_ip);
+  input[4] = static_cast<std::uint8_t>(dst_ip >> 24);
+  input[5] = static_cast<std::uint8_t>(dst_ip >> 16);
+  input[6] = static_cast<std::uint8_t>(dst_ip >> 8);
+  input[7] = static_cast<std::uint8_t>(dst_ip);
+  input[8] = static_cast<std::uint8_t>(src_port >> 8);
+  input[9] = static_cast<std::uint8_t>(src_port);
+  input[10] = static_cast<std::uint8_t>(dst_port >> 8);
+  input[11] = static_cast<std::uint8_t>(dst_port);
+  return toeplitz_hash(input, sizeof(input), key);
+}
+
+}  // namespace metro::nic

@@ -1,0 +1,25 @@
+// Compact packet descriptor used on the simulator's timing fast path.
+//
+// DPDK never copies packet payloads when moving traffic between NIC and
+// application — it moves 16-byte descriptors (the paper leans on this in
+// Appendix II to justify a size-independent retrieval rate). The simulator
+// does the same: timing experiments operate on descriptors; the functional
+// applications (l3fwd, IPsec, FloWatcher) are exercised on real packet
+// bytes in their unit tests and examples, and contribute their calibrated
+// per-packet cost to the timing path.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace metro::nic {
+
+struct PacketDesc {
+  sim::Time arrival = 0;      // wire arrival timestamp
+  std::uint32_t rss_hash = 0; // Toeplitz hash of the 5-tuple
+  std::uint32_t flow_id = 0;  // generator-assigned flow identity
+  std::uint16_t wire_size = 64;
+};
+
+}  // namespace metro::nic

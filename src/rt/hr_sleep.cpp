@@ -1,0 +1,41 @@
+#include "rt/hr_sleep.hpp"
+
+#include <cerrno>
+#include <ctime>
+
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+namespace metro::rt {
+
+bool set_min_timer_slack() {
+#if defined(__linux__) && defined(PR_SET_TIMERSLACK)
+  return prctl(PR_SET_TIMERSLACK, 1UL, 0UL, 0UL, 0UL) == 0;
+#else
+  return false;
+#endif
+}
+
+void hr_sleep(std::int64_t ns) {
+  if (ns <= 0) return;
+  timespec req;
+  req.tv_sec = static_cast<time_t>(ns / 1'000'000'000);
+  req.tv_nsec = static_cast<long>(ns % 1'000'000'000);
+  timespec rem;
+  while (clock_nanosleep(CLOCK_MONOTONIC, 0, &req, &rem) == EINTR) req = rem;
+}
+
+std::int64_t monotonic_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+std::int64_t measure_sleep_latency(std::int64_t ns) {
+  const std::int64_t start = monotonic_ns();
+  hr_sleep(ns);
+  return monotonic_ns() - start;
+}
+
+}  // namespace metro::rt

@@ -1,0 +1,28 @@
+// Real fine-grain sleep for the real-thread runtime.
+//
+// The paper's hr_sleep() is a custom kernel service; on a stock kernel the
+// closest user-space equivalent is clock_nanosleep(CLOCK_MONOTONIC) with
+// the per-thread timer slack forced to its 1 ns minimum via
+// prctl(PR_SET_TIMERSLACK, 1) — precisely the tuned-nanosleep baseline the
+// paper compares against in Fig. 1. This shim packages that, plus the
+// measurement helper the Fig. 1 bench uses on this host.
+#pragma once
+
+#include <cstdint>
+
+namespace metro::rt {
+
+/// Set the calling thread's timer slack to the minimum (1 ns). Returns
+/// false if prctl is unavailable (the sleep still works, just coarser).
+bool set_min_timer_slack();
+
+/// Sleep ~`ns` nanoseconds on CLOCK_MONOTONIC, restarting on EINTR.
+void hr_sleep(std::int64_t ns);
+
+/// Monotonic timestamp in nanoseconds.
+std::int64_t monotonic_ns();
+
+/// Measure the actual latency of one hr_sleep(ns) call, in nanoseconds.
+std::int64_t measure_sleep_latency(std::int64_t ns);
+
+}  // namespace metro::rt

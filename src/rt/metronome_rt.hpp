@@ -1,0 +1,134 @@
+// Real-thread Metronome runtime.
+//
+// The same protocol as core::Metronome (paper Listing 2), but on actual
+// std::thread workers with the real CMPXCHG trylock, real
+// clock_nanosleep-based hr_sleep, and lock-free rings fed by a paced
+// producer thread. This is the proof that the concurrency design is
+// implementable exactly as published; the discrete-event twin is what the
+// quantitative benches measure (it controls the OS environment, which a
+// CI container cannot).
+//
+// The producer paces synthetic "descriptors" (arrival timestamp + flow) at
+// a configured rate using a hybrid sleep/spin loop, mimicking MoonGen.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/ewma.hpp"
+#include "core/model.hpp"
+#include "rt/hr_sleep.hpp"
+#include "rt/spsc_ring.hpp"
+#include "rt/trylock.hpp"
+#include "stats/summary.hpp"
+
+namespace metro::rt {
+
+struct RtPacket {
+  std::int64_t arrival_ns = 0;
+  std::uint32_t flow_id = 0;
+};
+
+struct RtConfig {
+  int n_threads = 3;           // M
+  int n_queues = 1;            // N
+  double target_vacation_us = 50.0;
+  double long_timeout_us = 2000.0;
+  double alpha = 0.05;
+  int burst = 32;
+  std::size_t ring_capacity = 4096;
+  double rate_pps = 200e3;     // producer pacing
+  bool adaptive = true;
+  double fixed_ts_us = 100.0;
+};
+
+/// Per-queue shared state; padded so queues don't false-share.
+struct alignas(64) RtQueueState {
+  TryLock lock;
+  std::unique_ptr<SpscRing<RtPacket>> ring;
+  std::atomic<std::int64_t> last_release_ns{-1};
+  std::atomic<std::uint64_t> busy_tries{0};
+  std::atomic<std::uint64_t> total_tries{0};
+  // rho/ts written only by the lock holder, read by sleepers: a data-race-
+  // free published double via atomic.
+  std::atomic<double> rho{0.0};
+  std::atomic<double> ts_us{0.0};
+};
+
+struct RtResult {
+  std::uint64_t packets_consumed = 0;
+  std::uint64_t producer_pushed = 0;
+  std::uint64_t producer_drops = 0;
+  /// Packets still sitting in the rings when the runtime was stopped
+  /// (consumed + leftover + drops == pushed, exactly).
+  std::uint64_t leftover_in_rings = 0;
+  std::uint64_t busy_tries = 0;
+  std::uint64_t total_tries = 0;
+  stats::Summary vacation_us;
+  stats::Summary busy_us;
+  stats::Summary latency_us;  // retrieval latency: pop time - arrival
+  double final_rho = 0.0;
+  double final_ts_us = 0.0;
+  /// Process CPU time consumed between start() and stop() (getrusage, the
+  /// paper's own §V accounting tool) and the wall time of the run.
+  double cpu_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+class MetronomeRt {
+ public:
+  explicit MetronomeRt(RtConfig cfg);
+  ~MetronomeRt();
+
+  MetronomeRt(const MetronomeRt&) = delete;
+  MetronomeRt& operator=(const MetronomeRt&) = delete;
+
+  /// Launch producer + M worker threads.
+  void start();
+
+  /// Stop everything, join, and return aggregated statistics.
+  RtResult stop();
+
+  /// Live counter (for adaptivity probes while running).
+  std::uint64_t packets_consumed() const noexcept {
+    return packets_consumed_.load(std::memory_order_relaxed);
+  }
+  double current_rho(int queue = 0) const {
+    return queues_[static_cast<std::size_t>(queue)]->rho.load(std::memory_order_relaxed);
+  }
+  double current_ts_us(int queue = 0) const {
+    return queues_[static_cast<std::size_t>(queue)]->ts_us.load(std::memory_order_relaxed);
+  }
+
+  /// Change the producer rate while running (adaptivity tests).
+  void set_rate_pps(double pps) { rate_pps_.store(pps, std::memory_order_relaxed); }
+
+ private:
+  void producer_loop();
+  void worker_loop(int thread_id);
+
+  RtConfig cfg_;
+  std::vector<std::unique_ptr<RtQueueState>> queues_;
+  std::atomic<bool> running_{false};
+  std::atomic<double> rate_pps_;
+  std::atomic<std::uint64_t> packets_consumed_{0};
+  std::uint64_t producer_pushed_ = 0;
+  double cpu_seconds_at_start_ = 0.0;
+  std::int64_t wall_ns_at_start_ = 0;
+
+  // Per-worker private stats, merged at stop().
+  struct WorkerStats {
+    stats::Summary vacation_us;
+    stats::Summary busy_us;
+    stats::Summary latency_us;
+  };
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+
+  std::thread producer_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace metro::rt

@@ -1,0 +1,75 @@
+// Bounded lock-free ring buffer (rte_ring stand-in for the real-thread
+// runtime).
+//
+// Single producer; consumers are serialized externally by the per-queue
+// TryLock (only the lock holder pops), so SPSC ordering suffices: the
+// producer publishes with a release store of the tail, the consumer
+// publishes consumption with a release store of the head, and the lock's
+// acquire/release edges order consumer hand-offs between threads.
+// Head/tail live on separate cache lines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace metro::rt {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two. Free-running 64-bit
+  /// head/tail counters distinguish full from empty, so every slot is
+  /// usable.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  /// Producer-side push. Returns false when full (tail drop).
+  bool push(const T& value) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side burst pop (caller must hold the queue lock).
+  int pop_burst(T* out, int max) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t available = tail - head;
+    const int n = available < static_cast<std::uint64_t>(max) ? static_cast<int>(available) : max;
+    for (int i = 0; i < n; ++i) out[i] = slots_[(head + static_cast<std::uint64_t>(i)) & mask_];
+    head_.store(head + static_cast<std::uint64_t>(n), std::memory_order_release);
+    return n;
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+  std::uint64_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace metro::rt

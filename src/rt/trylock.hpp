@@ -1,0 +1,31 @@
+// The real trylock: one CMPXCHG on a dedicated cache line (§III-B).
+//
+// compare_exchange on an int compiles to LOCK CMPXCHG on x86 — exactly the
+// instruction the paper builds its race-resolution protocol on. The lock
+// word lives alone on its cache line to avoid false sharing between the
+// Metronome threads hammering it.
+#pragma once
+
+#include <atomic>
+
+namespace metro::rt {
+
+class alignas(64) TryLock {
+ public:
+  /// Non-blocking acquire. Acquire ordering: the winner sees all queue
+  /// state published by the previous owner's unlock().
+  bool try_lock() noexcept {
+    int expected = 0;
+    return state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept { state_.store(0, std::memory_order_release); }
+
+  bool locked() const noexcept { return state_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  std::atomic<int> state_{0};
+};
+
+}  // namespace metro::rt

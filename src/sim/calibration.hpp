@@ -1,0 +1,150 @@
+// Calibration constants for the simulated testbed.
+//
+// The paper's testbed is an isolated NUMA node of an Intel Xeon Silver
+// @ 2.1 GHz (Linux 5.4), Intel X520 10 GbE and XL710 40 GbE NICs, MoonGen as
+// the traffic source. We have no such hardware, so every timing/power
+// constant the models consume is gathered here, next to the paper
+// observation it was fitted against. Changing a constant re-shapes the whole
+// experimental campaign consistently.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace metro::sim::calib {
+
+// --- CPU / DVFS -------------------------------------------------------
+
+/// Xeon Silver 4110: nominal 2.1 GHz, min P-state 0.8 GHz.
+inline constexpr double kNominalGhz = 2.1;
+inline constexpr double kMinFreqRatio = 0.8 / 2.1;
+
+/// Linux ondemand governor defaults: 10 ms sampling, 95% up-threshold.
+inline constexpr Time kOndemandSamplingPeriod = 10_ms;
+inline constexpr double kOndemandUpThreshold = 0.95;
+
+// --- Power (RAPL-style package model) ----------------------------------
+//
+// Fitted to Fig. 11: package power spans ~12..30 W across {static,
+// Metronome} x {ondemand, performance} x {0..10 Gbps}; static polling on
+// one core with `performance` sits near the upper range, idle Metronome
+// with `ondemand` near the lower.
+
+/// Constant package base (uncore, DRAM controller, fabric), W.
+inline constexpr double kPackageBaseWatts = 11.0;
+/// Static (leakage + clocking) power of an active core at nominal f, W.
+inline constexpr double kCoreStaticWatts = 1.1;
+/// Dynamic power of a fully-busy core at nominal f (scales ~f^3), W.
+inline constexpr double kCoreDynamicWatts = 3.9;
+/// Power of an idle core parked in a shallow C-state, W.
+inline constexpr double kCoreIdleWatts = 0.35;
+
+// --- Sleep services -----------------------------------------------------
+//
+// Fig. 1 reports wall-clock sleep latency for requested timeouts of
+// 1/10/100 us: hr_sleep ~ {3.85, 13.46, 108.45} us, nanosleep (slack = 1 us)
+// ~ {3.88, 13.48, 108.52} us, with slightly wider spread for nanosleep.
+// We model actual = requested + overhead(requested), with overhead sampled
+// from a Normal whose mean/sd are log-interpolated between the anchors.
+
+struct SleepAnchor {
+  Time requested;
+  double overhead_mean_us;
+  double overhead_sd_us;
+};
+
+inline constexpr SleepAnchor kHrSleepAnchors[] = {
+    {1_us, 2.85, 0.020},
+    {10_us, 3.46, 0.022},
+    {100_us, 8.45, 0.045},
+};
+inline constexpr SleepAnchor kNanosleepAnchors[] = {
+    {1_us, 2.88, 0.035},
+    {10_us, 3.48, 0.038},
+    {100_us, 8.52, 0.075},
+};
+
+/// Default timer slack applied to nanosleep when the thread does not set
+/// PR_SET_TIMERSLACK (Linux default: 50 us). hr_sleep ignores slack.
+inline constexpr Time kDefaultTimerSlack = 50_us;
+
+// --- OS scheduling jitter ------------------------------------------------
+//
+// After a sleep timer fires the thread must still be dispatched. On an
+// otherwise idle core this costs a sub-microsecond context switch; on a
+// contended core the waker may wait for the running task to be preempted.
+// Rarely, kernel housekeeping delays dispatch by tens of microseconds —
+// Fig. 4 shows wake-ups landing beyond TL for M = 2. kDispatchTail* model
+// that heavy tail.
+
+inline constexpr Time kDispatchBase = 400_ns;
+/// Extra mean dispatch delay (exponential) when the core is contended.
+inline constexpr Time kDispatchContendedMean = 2_us;
+/// Probability of a heavy-tail dispatch event (kernel daemon interference;
+/// rare on the paper's isolated NUMA node, but visible in Fig. 4 as
+/// wake-ups beyond TL).
+inline constexpr double kDispatchTailProb = 2e-5;
+inline constexpr Time kDispatchTailMin = 20_us;
+inline constexpr Time kDispatchTailMax = 100_us;
+
+// --- DPDK-side costs -----------------------------------------------------
+//
+// Per-packet retrieval+processing cost for l3fwd (LPM route, MAC rewrite,
+// TTL/checksum update) on the Xeon Silver. Chosen so a single busy thread
+// drains ~23.5 Mpps >= the 14.88 Mpps 10 GbE line rate, matching the
+// paper's observation that one Metronome thread sustains line rate and
+// rho ~= 0.6+ under 64 B line-rate traffic.
+inline constexpr Time kL3fwdPerPacketCost = 38_ns;
+/// IPsec gateway (ESP encap, AES-CBC offloaded to the NIC, software
+/// encap/decap): the paper's static app tops out at 5.61 Mpps.
+inline constexpr Time kIpsecPerPacketCost = 178_ns;
+/// FloWatcher run-to-completion (per-packet + per-flow statistics).
+inline constexpr Time kFlowatcherPerPacketCost = 55_ns;
+
+/// Cost of one empty poll of an Rx queue (read head/tail pointers).
+inline constexpr Time kEmptyPollCost = 35_ns;
+/// User-space trylock (CMPXCHG) cost: success / failure.
+inline constexpr Time kTrylockCost = 12_ns;
+/// Fixed per-wakeup bookkeeping in the Metronome loop (timer re-arm,
+/// entering the sleep syscall, cache refill after wake). Fitted to the
+/// low-rate CPU floor the paper reports (~18.6% at 0.5 Gbps, M = 3).
+inline constexpr Time kWakeupOverheadCost = 1600_ns;
+
+/// Fixed path latency outside the software's control: NIC DMA + PCIe on
+/// both directions plus the MoonGen timestamping offset. Fitted to the
+/// paper's minimum observed latency (static DPDK: 6.83 us end to end).
+inline constexpr Time kFixedPathLatency = 3400_ns;
+
+// --- XDP model ------------------------------------------------------------
+//
+// Interrupt-driven in-kernel path: per-IRQ overhead covers the hardirq,
+// softirq scheduling and NAPI housekeeping; per-packet cost is higher than
+// DPDK's (no user-space bypass amortisation; xdp_router_ipv4 route lookup).
+// Fitted to Fig. 10: ~4 cores needed near 10 GbE line rate, CPU ~200+%,
+// latency above Metronome at line rate, comparable at low rates.
+inline constexpr Time kXdpIrqOverhead = 2600_ns;
+inline constexpr Time kXdpPerPacketCost = 230_ns;
+inline constexpr int kXdpNapiBudget = 64;
+/// Interrupt mitigation (rx-usecs): the NIC delays the IRQ to batch packets.
+inline constexpr Time kXdpIrqMitigation = 8_us;
+/// Softirq dispatch latency from hardirq to NAPI poll start.
+inline constexpr Time kXdpSoftirqLatency = 3_us;
+
+// --- NICs -----------------------------------------------------------------
+
+/// Intel X520 (82599) 10 GbE: line rate 14.88 Mpps @ 64 B frames.
+inline constexpr double kX520LineRateMpps = 14.88;
+inline constexpr int kX520DefaultRingSize = 512;
+
+/// Intel XL710 40 GbE: processing-rate cap of ~37 Mpps (spec update #13).
+inline constexpr double kXl710MaxMpps = 37.0;
+/// 40 GbE deployments provision deep rings (DPDK i40e supports up to 4096
+/// descriptors) to ride out scheduling hiccups at these rates.
+inline constexpr int kXl710DefaultRingSize = 4096;
+
+/// DPDK default Rx/Tx burst size used throughout the paper.
+inline constexpr int kBurstSize = 32;
+/// Default Tx batch threshold (descriptors held back until the batch
+/// fills); §V-C studies reducing it to 1.
+inline constexpr int kTxBatchDefault = 32;
+
+}  // namespace metro::sim::calib

@@ -1,0 +1,203 @@
+// The discrete-event simulation kernel.
+//
+// A Simulation owns:
+//   * the virtual clock (nanoseconds, see time.hpp),
+//   * a priority queue of timestamped events,
+//   * the coroutine frames of all spawned processes,
+//   * a deterministic RNG shared by models that need randomness.
+//
+// Events inserted at equal timestamps run in insertion order (a strictly
+// increasing sequence number breaks ties), which keeps runs bit-for-bit
+// reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace metro::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  ~Simulation() {
+    // Drop pending events first so no event can refer to a destroyed frame,
+    // then destroy all frames (they are suspended, so destroy() is legal).
+    events_ = {};
+    for (auto h : processes_) {
+      if (h) h.destroy();
+    }
+  }
+
+  Time now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+
+  /// Schedule a callback at absolute virtual time `t` (>= now()).
+  void schedule_at(Time t, std::function<void()> fn) {
+    events_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedule a callback `delay` nanoseconds from now.
+  void schedule_after(Time delay, std::function<void()> fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Start a simulation process. The first resume happens "now".
+  void spawn(Task task) {
+    auto handle = task.release();
+    processes_.push_back(handle);
+    schedule_after(0, [handle] {
+      if (!handle.done()) handle.resume();
+    });
+  }
+
+  /// Run until the event queue drains or the clock passes `end`.
+  /// Events at exactly `end` are executed. Returns the final clock value.
+  Time run_until(Time end) {
+    while (!events_.empty() && events_.top().at <= end) {
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = ev.at;
+      ev.fn();
+    }
+    if (now_ < end) now_ = end;
+    return now_;
+  }
+
+  /// Run until no events remain (all processes finished or are blocked).
+  Time run() {
+    while (!events_.empty()) {
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = ev.at;
+      ev.fn();
+    }
+    return now_;
+  }
+
+  bool idle() const noexcept { return events_.empty(); }
+  std::size_t pending_events() const noexcept { return events_.size(); }
+
+  // --- awaitables -----------------------------------------------------
+
+  /// co_await sim.sleep_for(d): suspend the calling process for `d` ns of
+  /// virtual time. This is *exact* virtual sleeping — OS-level inaccuracy
+  /// is modelled separately by SleepService.
+  auto sleep_for(Time d) {
+    struct Awaiter {
+      Simulation& sim;
+      Time delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_after(delay, [h] {
+          if (!h.done()) h.resume();
+        });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  auto sleep_until(Time t) { return sleep_for(t - now_); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<std::coroutine_handle<Task::promise_type>> processes_;
+  Rng rng_;
+};
+
+/// A one-to-many wake-up signal. Processes co_await the signal (optionally
+/// with a timeout); notify_all() resumes every waiter at the current
+/// virtual time. Used e.g. by a busy-polling driver fast-forwarding an idle
+/// stretch: the poller is logically spinning (and is accounted as busy),
+/// but the simulator skips straight to the next packet arrival.
+///
+/// Each wait allocates a one-shot token so a timed wait can be raced by
+/// both the notification and its timeout without double-resume.
+class Signal {
+ public:
+  explicit Signal(Simulation& sim) : sim_(sim) {}
+
+  /// co_await sig.wait(): suspend until the next notify_all().
+  auto wait() { return WaitAwaiter{*this, -1, nullptr}; }
+
+  /// co_await sig.wait_for(t): suspend until notify_all() or `t` elapses,
+  /// whichever comes first. Resumes with true if notified.
+  auto wait_for(Time timeout) { return WaitAwaiter{*this, timeout, nullptr}; }
+
+  /// Wake all current waiters (they resume via the event queue, at now()).
+  void notify_all() {
+    if (waiters_.empty()) return;
+    auto woken = std::move(waiters_);
+    waiters_.clear();
+    for (auto& t : woken) {
+      if (!t->armed) continue;  // already resumed via timeout
+      t->armed = false;
+      t->notified = true;
+      auto h = t->handle;
+      sim_.schedule_after(0, [h] {
+        if (!h.done()) h.resume();
+      });
+    }
+  }
+
+  bool has_waiters() const noexcept { return !waiters_.empty(); }
+
+ private:
+  struct Token {
+    std::coroutine_handle<> handle;
+    bool armed = true;
+    bool notified = false;
+  };
+
+  struct WaitAwaiter {
+    Signal& sig;
+    Time timeout;  // < 0: wait forever
+    std::shared_ptr<Token> token;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      token = std::make_shared<Token>();
+      token->handle = h;
+      sig.waiters_.push_back(token);
+      if (timeout >= 0) {
+        auto t = token;
+        sig.sim_.schedule_after(timeout, [t] {
+          if (!t->armed) return;
+          t->armed = false;
+          t->notified = false;
+          if (!t->handle.done()) t->handle.resume();
+        });
+      }
+    }
+    bool await_resume() const noexcept { return token && token->notified; }
+  };
+
+  Simulation& sim_;
+  std::vector<std::shared_ptr<Token>> waiters_;
+};
+
+}  // namespace metro::sim

@@ -1,0 +1,69 @@
+// Coroutine-based simulation processes.
+//
+// A simulated thread (a Metronome worker, a static-polling lcore, a traffic
+// source, ...) is written as a C++20 coroutine returning `Task`. The body
+// reads like the paper's pseudo-code: `co_await sim.sleep_for(ts)` suspends
+// the process and the event queue resumes it at the right virtual time.
+//
+// Lifetime model: a Task starts suspended. `Simulation::spawn()` takes
+// ownership of the coroutine frame, schedules its first resume at the
+// current virtual time, and destroys all outstanding frames when the
+// Simulation is destroyed. Processes are expected to run until they complete
+// or until the simulation ends; there is no join — completion is
+// communicated through shared state owned by the experiment harness.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace metro::sim {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Stay suspended at the end so the owning Simulation can safely
+    // destroy the frame (handles are never destroyed mid-execution).
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Release ownership of the coroutine frame (used by Simulation::spawn).
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, nullptr);
+  }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace metro::sim

@@ -1,0 +1,35 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated time is kept as signed 64-bit nanoseconds. 2^63 ns is
+// roughly 292 years, which comfortably covers any experiment in the paper
+// (the longest run is a 60 s MoonGen ramp). Signed arithmetic keeps
+// interval subtraction safe.
+#pragma once
+
+#include <cstdint>
+
+namespace metro::sim {
+
+/// Nanoseconds of virtual time (also used for CPU-work amounts).
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Convenience literals: 10_us, 500_ms, ...
+constexpr Time operator""_ns(unsigned long long v) { return static_cast<Time>(v); }
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v) * kMicrosecond; }
+constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * kMillisecond; }
+constexpr Time operator""_s(unsigned long long v) { return static_cast<Time>(v) * kSecond; }
+
+/// Seconds as double -> Time, rounding to the nearest nanosecond.
+constexpr Time from_seconds(double s) { return static_cast<Time>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)); }
+constexpr Time from_micros(double us) { return static_cast<Time>(us * 1e3 + (us >= 0 ? 0.5 : -0.5)); }
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_micros(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_millis(Time t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace metro::sim

@@ -1,0 +1,107 @@
+// Fixed-resolution histogram with percentile queries and boxplot stats.
+//
+// Values are binned linearly at a configurable resolution over [0, max);
+// out-of-range values are counted in a saturating overflow bin, and exact
+// min/max/mean are tracked on the side so reported extremes are not
+// quantised. Sufficient for latency distributions where the paper reports
+// boxplots (median, quartiles, whiskers) and density plots (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace metro::stats {
+
+struct Boxplot {
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double whisker_lo = 0.0;  // p5
+  double whisker_hi = 0.0;  // p95
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint64_t count = 0;
+};
+
+class Histogram {
+ public:
+  /// `bin_width` and `max_value` are in the caller's unit (we use us).
+  Histogram(double bin_width, double max_value)
+      : bin_width_(bin_width),
+        bins_(static_cast<std::size_t>(max_value / bin_width) + 1, 0) {}
+
+  void add(double x) {
+    summary_.add(x);
+    std::size_t idx = x <= 0.0 ? 0 : static_cast<std::size_t>(x / bin_width_);
+    if (idx >= bins_.size()) {
+      ++overflow_;
+      return;
+    }
+    ++bins_[idx];
+  }
+
+  std::uint64_t count() const noexcept { return summary_.count(); }
+  const Summary& summary() const noexcept { return summary_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Value at quantile q in [0, 1] (linear within the bin).
+  double percentile(double q) const {
+    const std::uint64_t total = summary_.count();
+    if (total == 0) return 0.0;
+    const double target = q * static_cast<double>(total);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      const double next = cum + static_cast<double>(bins_[i]);
+      if (next >= target && bins_[i] > 0) {
+        const double frac = (target - cum) / static_cast<double>(bins_[i]);
+        return (static_cast<double>(i) + frac) * bin_width_;
+      }
+      cum = next;
+    }
+    return summary_.max();
+  }
+
+  Boxplot boxplot() const {
+    Boxplot b;
+    b.p25 = percentile(0.25);
+    b.median = percentile(0.50);
+    b.p75 = percentile(0.75);
+    b.whisker_lo = percentile(0.05);
+    b.whisker_hi = percentile(0.95);
+    b.mean = summary_.mean();
+    b.stddev = summary_.stddev();
+    b.count = summary_.count();
+    return b;
+  }
+
+  /// Normalised density per bin (integrates to ~1 over the covered range).
+  std::vector<double> density() const {
+    std::vector<double> d(bins_.size(), 0.0);
+    const double total = static_cast<double>(summary_.count());
+    if (total == 0.0) return d;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      d[i] = static_cast<double>(bins_[i]) / (total * bin_width_);
+    }
+    return d;
+  }
+
+  double bin_width() const noexcept { return bin_width_; }
+  std::size_t n_bins() const noexcept { return bins_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return bins_[i]; }
+
+  void reset() {
+    summary_.reset();
+    overflow_ = 0;
+    std::fill(bins_.begin(), bins_.end(), 0);
+  }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  Summary summary_;
+};
+
+}  // namespace metro::stats

@@ -1,0 +1,66 @@
+// Streaming moment statistics (Welford's online algorithm).
+//
+// Used for every scalar the experiments report: vacation/busy period
+// durations, per-packet latency means, CPU percentages, ... Numerically
+// stable for millions of samples.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace metro::stats {
+
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const Summary& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+  }
+
+  void reset() { *this = Summary{}; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace metro::stats

@@ -1,0 +1,75 @@
+// Minimal aligned-table / CSV printer for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as an
+// aligned text table (and optionally CSV for plotting), so the output can be
+// compared side by side with the publication.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace metro::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Format helper for doubles.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    std::string sep;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      sep += std::string(widths[i] + 2, '-');
+      if (i + 1 < widths.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+  void print_csv(std::ostream& os) const {
+    print_csv_row(os, headers_);
+    for (const auto& row : rows_) print_csv_row(os, row);
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << " " << std::setw(static_cast<int>(widths[i])) << row[i] << " ";
+      if (i + 1 < row.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  static void print_csv_row(std::ostream& os, const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) os << ",";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metro::stats

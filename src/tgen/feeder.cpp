@@ -1,0 +1,40 @@
+#include "tgen/feeder.hpp"
+
+#include <vector>
+
+namespace metro::tgen {
+
+namespace {
+
+sim::Task feeder_task(sim::Simulation& sim, nic::Port& port, Generator& gen, FeederConfig cfg) {
+  std::vector<nic::PacketDesc> group;
+  group.reserve(static_cast<std::size_t>(cfg.max_batch));
+  std::optional<nic::PacketDesc> carry = gen.next();
+  while (carry.has_value()) {
+    group.clear();
+    const sim::Time window_start = carry->arrival;
+    group.push_back(*carry);
+    carry.reset();
+    while (static_cast<int>(group.size()) < cfg.max_batch) {
+      auto pkt = gen.next();
+      if (!pkt.has_value()) break;
+      if (pkt->arrival > window_start + cfg.batch_window) {
+        carry = pkt;  // belongs to the next group
+        break;
+      }
+      group.push_back(*pkt);
+    }
+    // Deliver the whole group when its last packet has arrived on the wire.
+    co_await sim.sleep_until(group.back().arrival);
+    for (const auto& pkt : group) port.rx(pkt);
+    if (!carry.has_value()) carry = gen.next();
+  }
+}
+
+}  // namespace
+
+void attach(sim::Simulation& sim, nic::Port& port, Generator& gen, FeederConfig cfg) {
+  sim.spawn(feeder_task(sim, port, gen, cfg));
+}
+
+}  // namespace metro::tgen

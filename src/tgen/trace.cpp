@@ -1,0 +1,80 @@
+#include "tgen/trace.hpp"
+
+#include "net/packet_builder.hpp"
+#include "net/packet.hpp"
+#include "nic/rss.hpp"
+
+namespace metro::tgen {
+
+std::vector<net::PcapPacket> synthesise_unbalanced_trace(std::size_t n_packets,
+                                                         double heavy_share,
+                                                         std::uint64_t seed) {
+  sim::Rng rng(seed);
+  net::FiveTuple heavy;
+  heavy.src_ip = net::ipv4_addr(198, 18, 0, 1);
+  heavy.dst_ip = net::ipv4_addr(10, 99, 99, 99);
+  heavy.src_port = 7777;
+  heavy.dst_port = 8888;
+  heavy.protocol = net::kIpProtoUdp;
+
+  std::vector<net::PcapPacket> out;
+  out.reserve(n_packets);
+  net::Packet pkt;
+  for (std::size_t i = 0; i < n_packets; ++i) {
+    net::FiveTuple t;
+    if (rng.chance(heavy_share)) {
+      t = heavy;
+    } else {
+      t.src_ip = net::ipv4_addr(198, 18, 0, 0) + static_cast<std::uint32_t>(rng.uniform_u64(1 << 16));
+      t.dst_ip = net::ipv4_addr(10, 0, 0, 0) + static_cast<std::uint32_t>(rng.uniform_u64(1 << 24));
+      t.src_port = static_cast<std::uint16_t>(1024 + rng.uniform_u64(60000));
+      t.dst_port = static_cast<std::uint16_t>(1024 + rng.uniform_u64(60000));
+      t.protocol = net::kIpProtoUdp;
+    }
+    net::build_udp_packet(pkt, t, 64);
+    net::PcapPacket rec;
+    rec.timestamp_ns = static_cast<std::int64_t>(i) * 1000;  // nominal spacing
+    rec.data.assign(pkt.data(), pkt.data() + pkt.size());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<TraceEntry> parse_trace(const std::vector<net::PcapPacket>& packets) {
+  std::vector<TraceEntry> entries;
+  entries.reserve(packets.size());
+  net::Packet buf;
+  for (const auto& rec : packets) {
+    if (rec.data.size() > net::Packet::kDataRoom - net::Packet::kHeadroom) continue;
+    buf.assign(rec.data.data(), rec.data.size());
+    TraceEntry e;
+    if (!net::extract_five_tuple(buf, e.tuple)) continue;
+    e.rss_hash =
+        nic::rss_hash_ipv4(e.tuple.src_ip, e.tuple.dst_ip, e.tuple.src_port, e.tuple.dst_port);
+    // Wire size = captured frame + 4 B FCS (build_udp_packet strips it).
+    e.wire_size = static_cast<std::uint16_t>(rec.data.size() + 4);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+TraceGenerator::TraceGenerator(std::vector<TraceEntry> entries, double rate_pps,
+                               sim::Time duration)
+    : entries_(std::move(entries)),
+      gap_(rate_pps > 0 ? static_cast<sim::Time>(1e9 / rate_pps) : 0),
+      duration_(duration) {}
+
+std::optional<nic::PacketDesc> TraceGenerator::next() {
+  if (entries_.empty() || gap_ == 0 || t_ >= duration_) return std::nullopt;
+  const TraceEntry& e = entries_[index_];
+  index_ = (index_ + 1) % entries_.size();  // loop the trace, as the paper does
+  nic::PacketDesc pkt;
+  pkt.arrival = t_;
+  pkt.rss_hash = e.rss_hash;
+  pkt.flow_id = e.rss_hash;  // flow identity = hash for trace replay
+  pkt.wire_size = e.wire_size;
+  t_ += gap_;
+  return pkt;
+}
+
+}  // namespace metro::tgen

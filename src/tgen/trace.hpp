@@ -1,0 +1,70 @@
+// Trace-based workload generation.
+//
+// §V-F.4 drives the unbalanced experiment by "continuously sending at line
+// rate an unbalanced pcap file ... composed by 1000 packets, 30% of the
+// packets belongs to the same UDP flow, while the other 70% is randomly
+// generated". This module provides:
+//   * synthesise_unbalanced_trace(): builds exactly that 1000-packet trace
+//     (real Ethernet/IPv4/UDP frames, usable with net::PcapWriter);
+//   * TraceGenerator: replays a parsed trace in a loop at a target rate,
+//     recomputing each packet's RSS hash from its real headers;
+//   * ImixFlowSizes: the standard simple-IMIX size mix (7:4:1 of
+//     64/570/1518 B), used by the Appendix-II size-independence ablation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/pcap.hpp"
+#include "nic/sim_packet.hpp"
+#include "sim/rng.hpp"
+#include "tgen/generator.hpp"
+
+namespace metro::tgen {
+
+/// One replayable trace entry: pre-extracted tuple + precomputed RSS hash.
+struct TraceEntry {
+  net::FiveTuple tuple;
+  std::uint32_t rss_hash = 0;
+  std::uint16_t wire_size = 64;
+};
+
+/// Build the §V-F.4 trace: `n_packets` frames, `heavy_share` of them in one
+/// UDP flow, the rest random. Frames are real packets (build_udp_packet).
+std::vector<net::PcapPacket> synthesise_unbalanced_trace(std::size_t n_packets,
+                                                         double heavy_share,
+                                                         std::uint64_t seed);
+
+/// Parse pcap packets into replayable entries (non-IPv4 frames skipped).
+std::vector<TraceEntry> parse_trace(const std::vector<net::PcapPacket>& packets);
+
+/// Replay a trace in a loop at a constant packet rate.
+class TraceGenerator final : public Generator {
+ public:
+  TraceGenerator(std::vector<TraceEntry> entries, double rate_pps, sim::Time duration);
+
+  std::optional<nic::PacketDesc> next() override;
+
+ private:
+  std::vector<TraceEntry> entries_;
+  sim::Time gap_;
+  sim::Time duration_;
+  sim::Time t_ = 0;
+  std::size_t index_ = 0;
+};
+
+/// Simple IMIX: 64 B x7, 570 B x4, 1518 B x1 (per dozen).
+class ImixSizes {
+ public:
+  std::uint16_t next(sim::Rng& rng) const {
+    const auto roll = rng.uniform_u64(12);
+    if (roll < 7) return 64;
+    if (roll < 11) return 570;
+    return 1518;
+  }
+  /// Mean wire size of the mix, bytes.
+  static constexpr double mean_size() { return (7.0 * 64 + 4.0 * 570 + 1518) / 12.0; }
+};
+
+}  // namespace metro::tgen

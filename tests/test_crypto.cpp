@@ -1,0 +1,196 @@
+// Crypto: AES-128 (FIPS-197), CBC (NIST SP 800-38A), SHA-1 (FIPS 180),
+// HMAC-SHA1 (RFC 2202).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "crypto/sha1.hpp"
+#include "sim/rng.hpp"
+
+namespace metro::crypto {
+namespace {
+
+std::array<std::uint8_t, 16> hex16(const char* hex) {
+  std::array<std::uint8_t, 16> out{};
+  for (int i = 0; i < 16; ++i) {
+    unsigned v;
+    sscanf(hex + 2 * i, "%2x", &v);
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> hexv(const std::string& hex) {
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    unsigned v;
+    sscanf(hex.c_str() + 2 * i, "%2x", &v);
+    out[i] = static_cast<std::uint8_t>(v);
+  }
+  return out;
+}
+
+TEST(AesTest, Fips197AppendixBVector) {
+  const auto key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = hex16("3243f6a8885a308d313198a2e0370734");
+  const auto expect = hex16("3925841d02dc09fbdc118597196a0b32");
+  Aes128 aes{std::span<const std::uint8_t, 16>(key)};
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+}
+
+TEST(AesTest, Fips197AppendixCVector) {
+  const auto key = hex16("000102030405060708090a0b0c0d0e0f");
+  const auto pt = hex16("00112233445566778899aabbccddeeff");
+  const auto expect = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+  Aes128 aes{std::span<const std::uint8_t, 16>(key)};
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+  std::uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(std::memcmp(back, pt.data(), 16), 0);
+}
+
+TEST(AesTest, EncryptDecryptRoundTripRandom) {
+  sim::Rng rng(1);
+  std::array<std::uint8_t, 16> key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  Aes128 aes{std::span<const std::uint8_t, 16>(key)};
+  for (int i = 0; i < 200; ++i) {
+    std::uint8_t pt[16], ct[16], back[16];
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_u64());
+    aes.encrypt_block(pt, ct);
+    aes.decrypt_block(ct, back);
+    ASSERT_EQ(std::memcmp(pt, back, 16), 0);
+    ASSERT_NE(std::memcmp(pt, ct, 16), 0);
+  }
+}
+
+TEST(AesCbcTest, NistSp80038aVector) {
+  // SP 800-38A F.2.1 CBC-AES128.Encrypt, first two blocks.
+  const auto key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv = hex16("000102030405060708090a0b0c0d0e0f");
+  const auto pt = hexv(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  const auto expect = hexv(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2");
+  AesCbc cbc{std::span<const std::uint8_t, 16>(key)};
+  std::vector<std::uint8_t> ct(pt.size());
+  cbc.encrypt(pt, std::span<const std::uint8_t, 16>(iv), ct);
+  EXPECT_EQ(ct, expect);
+  std::vector<std::uint8_t> back(ct.size());
+  cbc.decrypt(ct, std::span<const std::uint8_t, 16>(iv), back);
+  EXPECT_EQ(back, pt);
+}
+
+TEST(AesCbcTest, InPlaceDecryptWorks) {
+  const auto key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv = hex16("000102030405060708090a0b0c0d0e0f");
+  std::vector<std::uint8_t> data(64, 0x42);
+  const auto original = data;
+  AesCbc cbc{std::span<const std::uint8_t, 16>(key)};
+  cbc.encrypt(data, std::span<const std::uint8_t, 16>(iv), data);
+  EXPECT_NE(data, original);
+  cbc.decrypt(data, std::span<const std::uint8_t, 16>(iv), data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(AesCbcTest, DifferentIvDifferentCiphertext) {
+  const auto key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv1 = hex16("00000000000000000000000000000000");
+  const auto iv2 = hex16("00000000000000000000000000000001");
+  std::vector<std::uint8_t> pt(32, 0x11), c1(32), c2(32);
+  AesCbc cbc{std::span<const std::uint8_t, 16>(key)};
+  cbc.encrypt(pt, std::span<const std::uint8_t, 16>(iv1), c1);
+  cbc.encrypt(pt, std::span<const std::uint8_t, 16>(iv2), c2);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(Sha1Test, Fips180Vectors) {
+  const auto d1 = Sha1::digest(hexv("616263"));  // "abc"
+  EXPECT_EQ(std::memcmp(d1.data(), hexv("a9993e364706816aba3e25717850c26c9cd0d89d").data(), 20),
+            0);
+  const std::string msg2 = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  const auto d2 = Sha1::digest(
+      std::span(reinterpret_cast<const std::uint8_t*>(msg2.data()), msg2.size()));
+  EXPECT_EQ(std::memcmp(d2.data(), hexv("84983e441c3bd26ebaae4aa1f95129e5e54670f1").data(), 20),
+            0);
+}
+
+TEST(Sha1Test, EmptyMessage) {
+  const auto d = Sha1::digest({});
+  EXPECT_EQ(std::memcmp(d.data(), hexv("da39a3ee5e6b4b0d3255bfef95601890afd80709").data(), 20), 0);
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finish();
+  EXPECT_EQ(std::memcmp(d.data(), hexv("34aa973cd4c4daa4f61eeb2bdbad27316534016f").data(), 20), 0);
+}
+
+TEST(Sha1Test, IncrementalEqualsOneShot) {
+  sim::Rng rng(2);
+  std::vector<std::uint8_t> data(10000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  Sha1 h;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + rng.uniform_u64(97), data.size() - off);
+    h.update(std::span(data.data() + off, n));
+    off += n;
+  }
+  EXPECT_EQ(h.finish(), Sha1::digest(data));
+}
+
+TEST(HmacSha1Test, Rfc2202Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  HmacSha1 h(key);
+  const auto tag =
+      h.compute(std::span(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(std::memcmp(tag.data(), hexv("b617318655057264e28bc0b6fb378c8ef146be00").data(), 20),
+            0);
+}
+
+TEST(HmacSha1Test, Rfc2202Case2TextKey) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  HmacSha1 h(std::span(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+  const auto tag =
+      h.compute(std::span(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(std::memcmp(tag.data(), hexv("effcdf6ae5eb2fa2d27416d5f184df9c259a7c79").data(), 20),
+            0);
+}
+
+TEST(HmacSha1Test, Rfc2202Case6LongKey) {
+  std::vector<std::uint8_t> key(80, 0xaa);  // key longer than block size
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  HmacSha1 h(key);
+  const auto tag =
+      h.compute(std::span(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(std::memcmp(tag.data(), hexv("aa4ae5e15272d00e95705637ce8a3b55ed402112").data(), 20),
+            0);
+}
+
+TEST(HmacSha1Test, Truncated96IsPrefix) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  HmacSha1 h(key);
+  const auto full =
+      h.compute(std::span(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  const auto t96 =
+      h.compute96(std::span(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(std::memcmp(full.data(), t96.data(), 12), 0);
+}
+
+}  // namespace
+}  // namespace metro::crypto

@@ -1,0 +1,191 @@
+// Baseline drivers: static-polling DPDK and the XDP model, plus the
+// ferret competitor and the experiment harness glue.
+#include <gtest/gtest.h>
+
+#include "apps/experiment.hpp"
+#include "apps/ferret.hpp"
+
+namespace metro {
+namespace {
+
+using apps::DriverKind;
+using apps::ExperimentConfig;
+using apps::run_experiment;
+
+ExperimentConfig config_for(DriverKind kind, double rate_mpps) {
+  ExperimentConfig cfg;
+  cfg.driver = kind;
+  cfg.workload.rate_mpps = rate_mpps;
+  cfg.warmup = 100 * sim::kMillisecond;
+  cfg.measure = 300 * sim::kMillisecond;
+  return cfg;
+}
+
+TEST(StaticPollingTest, AlwaysBurnsOneFullCore) {
+  for (const double rate : {14.88, 1.0, 0.0}) {
+    const auto r = run_experiment(config_for(DriverKind::kStaticPolling, rate));
+    EXPECT_NEAR(r.cpu_percent, 100.0, 0.5) << "rate " << rate;
+  }
+}
+
+TEST(StaticPollingTest, ForwardsLineRateWithoutLoss) {
+  const auto r = run_experiment(config_for(DriverKind::kStaticPolling, 14.88));
+  EXPECT_NEAR(r.throughput_mpps, 14.88, 0.1);
+  EXPECT_LT(r.loss_permille, 0.01);
+}
+
+TEST(StaticPollingTest, LatencyBelowMetronome) {
+  const auto stat = run_experiment(config_for(DriverKind::kStaticPolling, 14.88));
+  auto met_cfg = config_for(DriverKind::kMetronome, 14.88);
+  const auto met = run_experiment(met_cfg);
+  EXPECT_LT(stat.latency_us.mean, met.latency_us.mean);
+}
+
+TEST(StaticPollingTest, TxDrainBoundsLowRateLatency) {
+  // l3fwd's 100 us Tx drain caps the batching delay even at tiny rates.
+  const auto r = run_experiment(config_for(DriverKind::kStaticPolling, 0.1));
+  EXPECT_LT(r.latency_us.whisker_hi, 120.0);
+  EXPECT_NEAR(r.throughput_mpps, 0.1, 0.01);
+}
+
+TEST(XdpTest, ZeroCpuAtZeroTraffic) {
+  auto cfg = config_for(DriverKind::kXdp, 0.0);
+  cfg.n_queues = 1;
+  cfg.n_cores = 1;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.cpu_percent, 0.0);  // the paper's one clear XDP win
+}
+
+TEST(XdpTest, NeedsFourCoresNearLineRate) {
+  // With 4 queues/cores XDP keeps up (cf. §V-D: 13.57 Mpps max on ixgbe).
+  auto cfg = config_for(DriverKind::kXdp, 13.5);
+  cfg.n_queues = 4;
+  cfg.n_cores = 4;
+  const auto r4 = run_experiment(cfg);
+  EXPECT_GT(r4.throughput_mpps, 13.0);
+  // A single queue/core saturates and drops heavily.
+  auto cfg1 = config_for(DriverKind::kXdp, 13.5);
+  cfg1.n_queues = 1;
+  cfg1.n_cores = 1;
+  const auto r1 = run_experiment(cfg1);
+  EXPECT_LT(r1.throughput_mpps, 6.0);
+  EXPECT_GT(r1.loss_permille, 100.0);
+}
+
+TEST(XdpTest, CpuAboveMetronomeUnderLoad) {
+  // Fig. 10b: per-interrupt housekeeping makes XDP's total CPU much higher.
+  auto xdp = config_for(DriverKind::kXdp, 13.5);
+  xdp.n_queues = 4;
+  xdp.n_cores = 4;
+  const auto rx = run_experiment(xdp);
+  const auto rm = run_experiment(config_for(DriverKind::kMetronome, 13.5));
+  EXPECT_GT(rx.cpu_percent, rm.cpu_percent * 1.5);
+}
+
+TEST(XdpTest, RequiresCorePerQueue) {
+  auto cfg = config_for(DriverKind::kXdp, 1.0);
+  cfg.n_queues = 4;
+  cfg.n_cores = 2;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(FerretTest, RunsAtFullSpeedAlone) {
+  sim::Simulation sim;
+  sim::Machine machine(sim, 1);
+  apps::FerretConfig fc;
+  fc.total_work = sim::kSecond;
+  const auto result = apps::spawn_ferret(sim, machine.core(0), fc);
+  sim.run_until(10 * sim::kSecond);
+  ASSERT_TRUE(result->done());
+  EXPECT_NEAR(result->elapsed_seconds(), 1.0, 0.01);
+}
+
+TEST(FerretTest, EqualNiceCompetitorDoublesRuntime) {
+  sim::Simulation sim;
+  sim::Machine machine(sim, 1);
+  apps::FerretConfig fc;
+  fc.total_work = sim::kSecond;
+  fc.nice = 0;
+  const auto a = apps::spawn_ferret(sim, machine.core(0), fc, "a");
+  const auto b = apps::spawn_ferret(sim, machine.core(0), fc, "b");
+  sim.run_until(10 * sim::kSecond);
+  ASSERT_TRUE(a->done());
+  ASSERT_TRUE(b->done());
+  EXPECT_NEAR(a->elapsed_seconds(), 2.0, 0.05);
+  EXPECT_NEAR(b->elapsed_seconds(), 2.0, 0.05);
+}
+
+TEST(FerretTest, NicePriorityProtectsTheImportantTask) {
+  sim::Simulation sim;
+  sim::Machine machine(sim, 1);
+  apps::FerretConfig high;
+  high.total_work = sim::kSecond;
+  high.nice = -20;
+  apps::FerretConfig low;
+  low.total_work = sim::kSecond;
+  low.nice = 19;
+  const auto h = apps::spawn_ferret(sim, machine.core(0), high, "high");
+  const auto l = apps::spawn_ferret(sim, machine.core(0), low, "low");
+  sim.run_until(30 * sim::kSecond);
+  ASSERT_TRUE(h->done());
+  ASSERT_TRUE(l->done());
+  EXPECT_LT(h->elapsed_seconds(), 1.01);  // barely affected
+  EXPECT_GT(l->elapsed_seconds(), 1.9);   // waited out the -20 task
+}
+
+// --- §V-E: CPU-sharing experiments (Table II behaviour) -------------------
+
+TEST(CpuSharingTest, StaticPollingCollapsesUnderContention) {
+  auto cfg = config_for(DriverKind::kStaticPolling, 14.88);
+  cfg.n_cores = 1;
+  cfg.competitor.n_workers = 1;
+  cfg.competitor.nice = 0;  // the static baseline runs untuned
+  const auto r = run_experiment(cfg);
+  // Table II: static DPDK falls below line rate and drops packets (our
+  // calibrated drain rate halves to ~13.2 Mpps; the paper measured 7.34 —
+  // same collapse, different magnitude, see EXPERIMENTS.md).
+  EXPECT_LT(r.throughput_mpps, 13.8);
+  EXPECT_GT(r.loss_permille, 50.0);
+}
+
+TEST(CpuSharingTest, MetronomeHoldsLineRateUnderContention) {
+  auto cfg = config_for(DriverKind::kMetronome, 14.88);
+  cfg.n_cores = 3;
+  cfg.competitor.n_workers = 3;  // ferret on all three shared cores
+  const auto r = run_experiment(cfg);
+  // Table II: Metronome keeps 14.88 Mpps (nice -20 wakes preempt nice 19).
+  EXPECT_NEAR(r.throughput_mpps, 14.88, 0.15);
+  EXPECT_LT(r.loss_permille, 1.0);
+}
+
+TEST(ExperimentHarnessTest, ResultFieldsConsistent) {
+  const auto r = run_experiment(config_for(DriverKind::kMetronome, 5.0));
+  EXPECT_GT(r.package_watts, sim::calib::kPackageBaseWatts);
+  EXPECT_GT(r.latency_us.count, 100000u);
+  EXPECT_GE(r.latency_us.p75, r.latency_us.p25);
+  EXPECT_EQ(r.offered_mpps, 5.0);
+  EXPECT_GT(r.wakeups, 0u);
+  ASSERT_EQ(r.queues.size(), 1u);
+}
+
+TEST(ExperimentHarnessTest, DeterministicAcrossRuns) {
+  const auto a = run_experiment(config_for(DriverKind::kMetronome, 7.0));
+  const auto b = run_experiment(config_for(DriverKind::kMetronome, 7.0));
+  EXPECT_DOUBLE_EQ(a.cpu_percent, b.cpu_percent);
+  EXPECT_DOUBLE_EQ(a.latency_us.mean, b.latency_us.mean);
+  EXPECT_EQ(a.wakeups, b.wakeups);
+}
+
+TEST(ExperimentHarnessTest, SeedChangesRealisationNotShape) {
+  auto cfg = config_for(DriverKind::kMetronome, 7.0);
+  cfg.seed = 2;
+  const auto a = run_experiment(cfg);
+  cfg.seed = 3;
+  const auto b = run_experiment(cfg);
+  EXPECT_NE(a.wakeups, b.wakeups);                      // different realisation
+  EXPECT_NEAR(a.cpu_percent, b.cpu_percent, 3.0);       // same physics
+  EXPECT_NEAR(a.latency_us.mean, b.latency_us.mean, 3.0);
+}
+
+}  // namespace
+}  // namespace metro

@@ -1,0 +1,100 @@
+// FloWatcher: flow accounting, heavy hitters, size histogram.
+#include <gtest/gtest.h>
+
+#include "apps/flowatcher.hpp"
+#include "apps/l3fwd.hpp"
+
+namespace metro::apps {
+namespace {
+
+using namespace metro::net;
+
+FiveTuple flow_n(std::uint32_t n) {
+  return FiveTuple{ipv4_addr(10, 0, 0, 1) + n, ipv4_addr(10, 1, 0, 1), 1000,
+                   static_cast<std::uint16_t>(2000 + n), kIpProtoUdp};
+}
+
+TEST(FloWatcherTest, CountsPacketsAndBytesPerFlow) {
+  FloWatcher fw;
+  for (int i = 0; i < 5; ++i) {
+    Packet pkt;
+    build_udp_packet(pkt, flow_n(1), 64);
+    EXPECT_TRUE(fw.observe(pkt, 1000 * i));
+  }
+  Packet big;
+  build_udp_packet(big, flow_n(2), 1500);
+  fw.observe(big, 9999);
+
+  EXPECT_EQ(fw.total_packets(), 6u);
+  EXPECT_EQ(fw.active_flows(), 2u);
+  const FlowRecord* r1 = fw.flow(flow_n(1));
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->packets, 5u);
+  EXPECT_EQ(r1->bytes, 5u * 60u);  // 64 B wire = 60 B in buffer
+  EXPECT_EQ(r1->first_seen_ns, 0);
+  EXPECT_EQ(r1->last_seen_ns, 4000);
+}
+
+TEST(FloWatcherTest, DescriptorPathMatchesPacketPath) {
+  FloWatcher a, b;
+  Packet pkt;
+  build_udp_packet(pkt, flow_n(7), 64);
+  a.observe(pkt, 5);
+  FiveTuple t;
+  ASSERT_TRUE(extract_five_tuple(pkt, t));
+  b.observe_flow(t, static_cast<std::uint16_t>(pkt.size()), 5);
+  EXPECT_EQ(a.total_packets(), b.total_packets());
+  EXPECT_EQ(a.flow(flow_n(7))->packets, b.flow(flow_n(7))->packets);
+}
+
+TEST(FloWatcherTest, HeavyHittersSortedByPackets) {
+  FloWatcher fw;
+  for (std::uint32_t f = 0; f < 10; ++f) {
+    for (std::uint32_t i = 0; i <= f * 10; ++i) fw.observe_flow(flow_n(f), 64, 0);
+  }
+  const auto top = fw.heavy_hitters(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].packets, 91u);
+  EXPECT_EQ(top[1].packets, 81u);
+  EXPECT_EQ(top[2].packets, 71u);
+  EXPECT_EQ(top[0].flow, flow_n(9));
+}
+
+TEST(FloWatcherTest, HeavyHittersKLargerThanFlows) {
+  FloWatcher fw;
+  fw.observe_flow(flow_n(0), 64, 0);
+  const auto top = fw.heavy_hitters(10);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(FloWatcherTest, NonIpCountedSeparately) {
+  FloWatcher fw;
+  Packet pkt;
+  build_udp_packet(pkt, flow_n(0));
+  pkt.at<EthernetHeader>(0)->ether_type = host_to_be16(0x0806);
+  EXPECT_FALSE(fw.observe(pkt, 0));
+  EXPECT_EQ(fw.total_packets(), 1u);
+  EXPECT_EQ(fw.non_ip_packets(), 1u);
+  EXPECT_EQ(fw.active_flows(), 0u);
+}
+
+TEST(FloWatcherTest, SizeHistogramBinsBySize) {
+  FloWatcher fw;
+  for (int i = 0; i < 10; ++i) fw.observe_flow(flow_n(0), 64, 0);
+  for (int i = 0; i < 5; ++i) fw.observe_flow(flow_n(1), 1500, 0);
+  const auto& h = fw.size_histogram();
+  EXPECT_EQ(h.count(), 15u);
+  EXPECT_NEAR(h.summary().mean(), (10 * 64 + 5 * 1500) / 15.0, 0.01);
+}
+
+TEST(FloWatcherTest, ManyFlowsSurviveTableChurn) {
+  FloWatcher fw(1 << 12);
+  for (std::uint32_t f = 0; f < 2000; ++f) fw.observe_flow(flow_n(f), 64, 0);
+  EXPECT_EQ(fw.active_flows(), 2000u);
+  for (std::uint32_t f = 0; f < 2000; ++f) {
+    ASSERT_NE(fw.flow(flow_n(f)), nullptr) << "flow " << f;
+  }
+}
+
+}  // namespace
+}  // namespace metro::apps

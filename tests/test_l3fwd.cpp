@@ -1,0 +1,165 @@
+// l3fwd application: functional forwarding correctness.
+#include <gtest/gtest.h>
+
+#include "apps/l3fwd.hpp"
+
+namespace metro::apps {
+namespace {
+
+using namespace metro::net;
+
+L3Forwarder::OutPort port0() {
+  return {0, MacAddress{0xaa, 0, 0, 0, 0, 1}, MacAddress{0xbb, 0, 0, 0, 0, 1}};
+}
+L3Forwarder::OutPort port1() {
+  return {1, MacAddress{0xaa, 0, 0, 0, 0, 2}, MacAddress{0xbb, 0, 0, 0, 0, 2}};
+}
+
+FiveTuple test_tuple() {
+  return FiveTuple{ipv4_addr(198, 18, 0, 1), ipv4_addr(10, 1, 2, 3), 1000, 2000, kIpProtoUdp};
+}
+
+TEST(L3fwdTest, ForwardsWithLpmRoute) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  fwd.add_port(port1());
+  ASSERT_TRUE(fwd.add_route(ipv4_addr(10, 0, 0, 0), 8, 1));
+
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple());
+  const auto out = fwd.process(pkt);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 1);
+  EXPECT_EQ(fwd.stats().forwarded, 1u);
+}
+
+TEST(L3fwdTest, DecrementsTtlAndKeepsChecksumValid) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  fwd.add_route(ipv4_addr(10, 0, 0, 0), 8, 0);
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple(), 64, 17);
+  ASSERT_TRUE(fwd.process(pkt).has_value());
+  const auto* ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
+  EXPECT_EQ(ip->ttl, 16);
+  EXPECT_TRUE(ipv4_checksum_ok(*ip));
+}
+
+TEST(L3fwdTest, RewritesMacs) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port1());
+  fwd.add_route(ipv4_addr(10, 0, 0, 0), 8, 0);
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple());
+  ASSERT_TRUE(fwd.process(pkt).has_value());
+  const auto* eth = pkt.at<EthernetHeader>(0);
+  EXPECT_EQ(eth->src, port1().src_mac);
+  EXPECT_EQ(eth->dst, port1().dst_mac);
+}
+
+TEST(L3fwdTest, LongestPrefixPreferred) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  fwd.add_port(port1());
+  fwd.add_route(ipv4_addr(10, 0, 0, 0), 8, 0);
+  fwd.add_route(ipv4_addr(10, 1, 0, 0), 16, 1);
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple());  // dst 10.1.2.3
+  EXPECT_EQ(fwd.process(pkt).value(), 1);
+}
+
+TEST(L3fwdTest, DropsNoRoute) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  fwd.add_route(ipv4_addr(192, 168, 0, 0), 16, 0);
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple());
+  EXPECT_FALSE(fwd.process(pkt).has_value());
+  EXPECT_EQ(fwd.stats().drop_reason[static_cast<std::size_t>(L3fwdDrop::kNoRoute)], 1u);
+}
+
+TEST(L3fwdTest, DropsTtlExpired) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  fwd.add_route(ipv4_addr(10, 0, 0, 0), 8, 0);
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple(), 64, 1);
+  EXPECT_FALSE(fwd.process(pkt).has_value());
+  EXPECT_EQ(fwd.stats().drop_reason[static_cast<std::size_t>(L3fwdDrop::kTtlExpired)], 1u);
+}
+
+TEST(L3fwdTest, DropsBadChecksum) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  fwd.add_route(ipv4_addr(10, 0, 0, 0), 8, 0);
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple());
+  pkt.at<Ipv4Header>(sizeof(EthernetHeader))->checksum ^= 0xffff;
+  EXPECT_FALSE(fwd.process(pkt).has_value());
+  EXPECT_EQ(fwd.stats().drop_reason[static_cast<std::size_t>(L3fwdDrop::kBadChecksum)], 1u);
+}
+
+TEST(L3fwdTest, DropsNonIpv4) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple());
+  pkt.at<EthernetHeader>(0)->ether_type = host_to_be16(0x86dd);  // IPv6
+  EXPECT_FALSE(fwd.process(pkt).has_value());
+  EXPECT_EQ(fwd.stats().drop_reason[static_cast<std::size_t>(L3fwdDrop::kNotIpv4)], 1u);
+}
+
+TEST(L3fwdTest, DropsRuntPacket) {
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  Packet pkt;
+  pkt.fill(0, 10);
+  EXPECT_FALSE(fwd.process(pkt).has_value());
+  EXPECT_EQ(fwd.stats().drop_reason[static_cast<std::size_t>(L3fwdDrop::kMalformed)], 1u);
+}
+
+TEST(L3fwdTest, ExactMatchModeRoutesByTuple) {
+  L3Forwarder fwd(L3Forwarder::Mode::kExactMatch);
+  fwd.add_port(port0());
+  fwd.add_port(port1());
+  const auto t = test_tuple();
+  ASSERT_TRUE(fwd.add_em_route(t, 1));
+
+  Packet pkt;
+  build_udp_packet(pkt, t);
+  EXPECT_EQ(fwd.process(pkt).value(), 1);
+
+  // A different flow (same dst prefix!) has no exact-match entry.
+  auto other = t;
+  other.src_port = 4242;
+  Packet pkt2;
+  build_udp_packet(pkt2, other);
+  EXPECT_FALSE(fwd.process(pkt2).has_value());
+}
+
+TEST(L3fwdTest, ForwardedPacketCanBeForwardedAgain) {
+  // The rewritten packet must still be a valid IPv4 packet (chain of hops).
+  L3Forwarder fwd(L3Forwarder::Mode::kLpm);
+  fwd.add_port(port0());
+  fwd.add_route(ipv4_addr(10, 0, 0, 0), 8, 0);
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple(), 64, 10);
+  for (int hop = 0; hop < 9; ++hop) {
+    ASSERT_TRUE(fwd.process(pkt).has_value()) << "hop " << hop;
+  }
+  EXPECT_FALSE(fwd.process(pkt).has_value());  // TTL exhausted at 1
+}
+
+TEST(L3fwdTest, BuildUdpPacketIsWellFormed) {
+  Packet pkt;
+  build_udp_packet(pkt, test_tuple(), 128);
+  EXPECT_EQ(pkt.size(), 124u);  // wire size minus FCS
+  const auto* ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
+  EXPECT_TRUE(ipv4_checksum_ok(*ip));
+  FiveTuple t;
+  ASSERT_TRUE(extract_five_tuple(pkt, t));
+  EXPECT_EQ(t, test_tuple());
+}
+
+}  // namespace
+}  // namespace metro::apps

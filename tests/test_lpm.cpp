@@ -1,0 +1,191 @@
+// DIR-24-8 LPM table: longest-prefix semantics, tbl8 management, deletion.
+#include <gtest/gtest.h>
+
+#include "net/headers.hpp"
+#include "net/lpm.hpp"
+#include "sim/rng.hpp"
+
+namespace metro::net {
+namespace {
+
+TEST(LpmTest, EmptyTableMisses) {
+  LpmTable lpm;
+  EXPECT_FALSE(lpm.lookup(ipv4_addr(10, 0, 0, 1)).has_value());
+}
+
+TEST(LpmTest, SlashSixteenCoversItsRange) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 1, 0, 0), 16, 7));
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 1, 0, 1)).value(), 7);
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 1, 255, 255)).value(), 7);
+  EXPECT_FALSE(lpm.lookup(ipv4_addr(10, 2, 0, 1)).has_value());
+}
+
+TEST(LpmTest, LongestPrefixWinsAtTbl24Level) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 0), 8, 1));
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 1, 0, 0), 16, 2));
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 1, 2, 0), 24, 3));
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 9, 9, 9)).value(), 1);
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 1, 9, 9)).value(), 2);
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 1, 2, 9)).value(), 3);
+}
+
+TEST(LpmTest, InsertionOrderDoesNotMatter) {
+  LpmTable a, b;
+  a.add(ipv4_addr(10, 0, 0, 0), 8, 1);
+  a.add(ipv4_addr(10, 1, 0, 0), 16, 2);
+  b.add(ipv4_addr(10, 1, 0, 0), 16, 2);
+  b.add(ipv4_addr(10, 0, 0, 0), 8, 1);
+  for (const auto ip : {ipv4_addr(10, 0, 0, 1), ipv4_addr(10, 1, 0, 1), ipv4_addr(10, 1, 2, 3)}) {
+    EXPECT_EQ(a.lookup(ip), b.lookup(ip));
+  }
+}
+
+TEST(LpmTest, DeepPrefixesUseTbl8) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(192, 168, 1, 128), 25, 10));
+  ASSERT_TRUE(lpm.add(ipv4_addr(192, 168, 1, 0), 25, 11));
+  EXPECT_EQ(lpm.tbl8_groups_in_use(), 1u);
+  EXPECT_EQ(lpm.lookup(ipv4_addr(192, 168, 1, 200)).value(), 10);
+  EXPECT_EQ(lpm.lookup(ipv4_addr(192, 168, 1, 5)).value(), 11);
+  EXPECT_FALSE(lpm.lookup(ipv4_addr(192, 168, 2, 5)).has_value());
+}
+
+TEST(LpmTest, HostRoute) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(8, 8, 8, 8), 32, 42));
+  EXPECT_EQ(lpm.lookup(ipv4_addr(8, 8, 8, 8)).value(), 42);
+  EXPECT_FALSE(lpm.lookup(ipv4_addr(8, 8, 8, 9)).has_value());
+}
+
+TEST(LpmTest, DeepPrefixInheritsShallowBackground) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 0), 8, 1));     // background
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 64), 26, 2));   // carve-out
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 0, 0, 70)).value(), 2);
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 0, 0, 1)).value(), 1);   // same tbl8, background
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 0, 1, 1)).value(), 1);   // other tbl24 slot
+}
+
+TEST(LpmTest, ShallowAddRepaintsTbl8Background) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 64), 26, 2));  // tbl8 first
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 0), 8, 1));    // then the cover
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 0, 0, 70)).value(), 2);  // carve-out survives
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 0, 0, 1)).value(), 1);   // background painted
+}
+
+TEST(LpmTest, UpdateExistingRuleChangesNextHop) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 0), 16, 1));
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 0), 16, 9));
+  EXPECT_EQ(lpm.rule_count(), 1u);
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 0, 1, 1)).value(), 9);
+}
+
+TEST(LpmTest, RemoveRestoresCoveringRule) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 0), 8, 1));
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 1, 0, 0), 16, 2));
+  ASSERT_TRUE(lpm.remove(ipv4_addr(10, 1, 0, 0), 16));
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 1, 0, 1)).value(), 1);  // backfilled
+}
+
+TEST(LpmTest, RemoveWithoutCoverInvalidates) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 1, 0, 0), 16, 2));
+  ASSERT_TRUE(lpm.remove(ipv4_addr(10, 1, 0, 0), 16));
+  EXPECT_FALSE(lpm.lookup(ipv4_addr(10, 1, 0, 1)).has_value());
+  EXPECT_EQ(lpm.rule_count(), 0u);
+}
+
+TEST(LpmTest, RemoveNonexistentFails) {
+  LpmTable lpm;
+  EXPECT_FALSE(lpm.remove(ipv4_addr(10, 0, 0, 0), 16));
+}
+
+TEST(LpmTest, RemoveDeepPrefixCollapsesTbl8) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 0), 16, 1));
+  ASSERT_TRUE(lpm.add(ipv4_addr(10, 0, 0, 128), 25, 2));
+  EXPECT_EQ(lpm.tbl8_groups_in_use(), 1u);
+  ASSERT_TRUE(lpm.remove(ipv4_addr(10, 0, 0, 128), 25));
+  EXPECT_EQ(lpm.tbl8_groups_in_use(), 0u);  // group collapsed back
+  EXPECT_EQ(lpm.lookup(ipv4_addr(10, 0, 0, 200)).value(), 1);
+}
+
+TEST(LpmTest, InvalidDepthRejected) {
+  LpmTable lpm;
+  EXPECT_FALSE(lpm.add(ipv4_addr(10, 0, 0, 0), 0, 1));
+  EXPECT_FALSE(lpm.add(ipv4_addr(10, 0, 0, 0), 33, 1));
+  EXPECT_FALSE(lpm.remove(ipv4_addr(10, 0, 0, 0), 0));
+}
+
+TEST(LpmTest, Tbl8ExhaustionRollsBack)  {
+  LpmTable lpm(2);  // only two tbl8 groups
+  EXPECT_TRUE(lpm.add(ipv4_addr(1, 0, 0, 0), 25, 1));
+  EXPECT_TRUE(lpm.add(ipv4_addr(2, 0, 0, 0), 25, 2));
+  EXPECT_FALSE(lpm.add(ipv4_addr(3, 0, 0, 0), 25, 3));  // exhausted
+  EXPECT_EQ(lpm.rule_count(), 2u);  // failed rule not retained
+  EXPECT_TRUE(lpm.add(ipv4_addr(3, 0, 0, 0), 24, 3));   // <= /24 still fine
+}
+
+TEST(LpmTest, DefaultRouteMatchesEverything) {
+  LpmTable lpm;
+  ASSERT_TRUE(lpm.add(0, 1, 5));  // 0.0.0.0/1 covers half the space
+  ASSERT_TRUE(lpm.add(ipv4_addr(128, 0, 0, 0), 1, 6));
+  EXPECT_EQ(lpm.lookup(ipv4_addr(1, 2, 3, 4)).value(), 5);
+  EXPECT_EQ(lpm.lookup(ipv4_addr(200, 2, 3, 4)).value(), 6);
+}
+
+TEST(LpmTest, RandomizedAgainstReferenceImplementation) {
+  // Property test: LPM lookups must equal a brute-force scan of the rules.
+  sim::Rng rng(123);
+  LpmTable lpm;
+  struct Rule {
+    std::uint32_t prefix;
+    int depth;
+    std::uint16_t hop;
+  };
+  std::vector<Rule> rules;
+  for (int i = 0; i < 300; ++i) {
+    const int depth = static_cast<int>(rng.uniform_int(1, 28));
+    // Confine to 10.0.0.0/8 + depth mask so prefixes overlap heavily.
+    const auto ip = ipv4_addr(10, static_cast<std::uint8_t>(rng.uniform_u64(4)),
+                              static_cast<std::uint8_t>(rng.uniform_u64(4)),
+                              static_cast<std::uint8_t>(rng.uniform_u64(256)));
+    const std::uint32_t mask = depth == 0 ? 0 : ~std::uint32_t{0} << (32 - depth);
+    const auto hop = static_cast<std::uint16_t>(i);
+    if (lpm.add(ip & mask, depth, hop)) {
+      // Replace any previous identical (prefix, depth).
+      std::erase_if(rules, [&](const Rule& r) { return r.prefix == (ip & mask) && r.depth == depth; });
+      rules.push_back(Rule{ip & mask, depth, hop});
+    }
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const auto probe = ipv4_addr(10, static_cast<std::uint8_t>(rng.uniform_u64(4)),
+                                 static_cast<std::uint8_t>(rng.uniform_u64(4)),
+                                 static_cast<std::uint8_t>(rng.uniform_u64(256)));
+    // Brute force: longest matching rule wins.
+    int best_depth = -1;
+    std::uint16_t best_hop = 0;
+    for (const auto& r : rules) {
+      const std::uint32_t mask = ~std::uint32_t{0} << (32 - r.depth);
+      if ((probe & mask) == r.prefix && r.depth > best_depth) {
+        best_depth = r.depth;
+        best_hop = r.hop;
+      }
+    }
+    const auto got = lpm.lookup(probe);
+    if (best_depth < 0) {
+      ASSERT_FALSE(got.has_value()) << "probe " << probe;
+    } else {
+      ASSERT_TRUE(got.has_value()) << "probe " << probe;
+      ASSERT_EQ(*got, best_hop) << "probe " << probe;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metro::net

@@ -1,0 +1,222 @@
+// The analytical model of §IV: properties and limits of eqs. 3-14.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+
+namespace metro::core::model {
+namespace {
+
+// --- eq. 3 / eq. 4 ------------------------------------------------------
+
+TEST(ModelTest, BusyGivenVacationGrowsWithLoad) {
+  EXPECT_DOUBLE_EQ(busy_given_vacation(10.0, 0.0), 0.0);
+  EXPECT_NEAR(busy_given_vacation(10.0, 0.5), 10.0, 1e-12);
+  EXPECT_GT(busy_given_vacation(10.0, 0.9), busy_given_vacation(10.0, 0.5));
+}
+
+TEST(ModelTest, RhoEstimateInvertsEq3) {
+  // rho -> B -> rho must round-trip (eq. 4 is the inverse of eq. 3).
+  for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double v = 10.0;
+    const double b = busy_given_vacation(v, rho);
+    EXPECT_NEAR(rho_estimate(b, v), rho, 1e-12);
+  }
+}
+
+TEST(ModelTest, RhoEstimateEdgeCases) {
+  EXPECT_DOUBLE_EQ(rho_estimate(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(rho_estimate(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rho_estimate(10.0, 0.0), 1.0);
+}
+
+// --- eq. 5 / eq. 9: vacation distribution at high load -------------------
+
+class VacationCdfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VacationCdfTest, IsAValidCdf) {
+  const int m = GetParam();
+  const double ts = 50.0, tl = 500.0;
+  double prev = 0.0;
+  for (double x = 0.0; x <= ts; x += 0.5) {
+    const double c = vacation_cdf(x, ts, tl, m);
+    ASSERT_GE(c, prev - 1e-12) << "CDF must be non-decreasing at x=" << x;
+    ASSERT_GE(c, 0.0);
+    ASSERT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(vacation_cdf(ts, ts, tl, m), 1.0);
+  EXPECT_DOUBLE_EQ(vacation_cdf(-1.0, ts, tl, m), 0.0);
+}
+
+TEST_P(VacationCdfTest, PdfPlusMassIntegratesToOne) {
+  const int m = GetParam();
+  const double ts = 50.0, tl = 500.0;
+  // Numerical integral of eq. (9) over (0, TS) plus the mass at TS.
+  double integral = 0.0;
+  const int steps = 200000;
+  const double dx = ts / steps;
+  for (int i = 0; i < steps; ++i) {
+    integral += vacation_pdf((i + 0.5) * dx, ts, tl, m) * dx;
+  }
+  integral += vacation_mass_at_ts(ts, tl, m);
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST_P(VacationCdfTest, MeanMatchesEq6) {
+  const int m = GetParam();
+  const double ts = 50.0, tl = 500.0;
+  // E[V] by numerically integrating x dF plus TS * mass.
+  double mean = 0.0;
+  const int steps = 200000;
+  const double dx = ts / steps;
+  for (int i = 0; i < steps; ++i) {
+    const double x = (i + 0.5) * dx;
+    mean += x * vacation_pdf(x, ts, tl, m) * dx;
+  }
+  mean += ts * vacation_mass_at_ts(ts, tl, m);
+  EXPECT_NEAR(mean, mean_vacation_high_load(ts, tl, m), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, VacationCdfTest, ::testing::Values(2, 3, 4, 5, 8));
+
+TEST(ModelTest, MoreThreadsShortenTheVacation) {
+  double prev = 1e9;
+  for (int m = 2; m <= 8; ++m) {
+    const double v = mean_vacation_high_load(50.0, 500.0, m);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ModelTest, MeanVacationEqualTimeouts) {
+  // With TS = TL the high-load formula gives TL/M (1 - (1-1)^M) = TS... no:
+  // TS/TL = 1 -> E[V] = TL/M. This is the Fig. 4 configuration.
+  for (int m = 2; m <= 5; ++m) {
+    EXPECT_NEAR(mean_vacation_high_load(50.0, 50.0, m), 50.0 / m, 1e-12);
+  }
+}
+
+// --- eq. 7 ----------------------------------------------------------------
+
+TEST(ModelTest, BackupSuccessProbabilityBounds) {
+  for (int m = 2; m <= 8; ++m) {
+    const double p = backup_success_prob(10.0, 500.0, m);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0 / (m - 1) + 1e-12);
+  }
+}
+
+TEST(ModelTest, BackupSuccessShrinksWithLongerTl) {
+  double prev = 1.0;
+  for (const double tl : {100.0, 300.0, 500.0, 700.0}) {
+    const double p = backup_success_prob(10.0, tl, 3);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+// --- eq. 10: general load -------------------------------------------------
+
+TEST(ModelTest, GeneralMeanVacationLimits) {
+  const double ts = 30.0, tl = 3000.0;
+  const int m = 3;
+  // p -> 1 (all primary, low load): E[V] -> TS / M.
+  EXPECT_NEAR(mean_vacation_general_approx(ts, m, 1.0), ts / m, 1e-9);
+  // p -> 0 (others all backup, high load): E[V] -> TS.
+  EXPECT_NEAR(mean_vacation_general_approx(ts, m, 1e-7), ts, 1e-4);
+  // Exact form limits: p = 0 recovers eq. (6); p = 1 gives TS/M.
+  EXPECT_NEAR(mean_vacation_general(ts, tl, m, 0.0), mean_vacation_high_load(ts, tl, m), 1e-9);
+  EXPECT_NEAR(mean_vacation_general(ts, tl, m, 1.0), ts / m, 1e-9);
+  // Exact form agrees with the approximation when TL >> TS.
+  for (const double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(mean_vacation_general(ts, tl, m, p), mean_vacation_general_approx(ts, m, p),
+                0.02 * ts);
+  }
+}
+
+TEST(ModelTest, GeneralMeanVacationMonotoneInP) {
+  // More primaries -> shorter vacations.
+  double prev = 1e9;
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double v = mean_vacation_general_approx(30.0, 3, p);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+// --- eq. 13 / eq. 14: the adaptive rule ------------------------------------
+
+class TsRuleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TsRuleTest, LimitsMatchEq12) {
+  const int m = GetParam();
+  const double target = 10.0;
+  EXPECT_NEAR(ts_for_target(target, 0.0, m), target * m, 1e-12);   // low load
+  EXPECT_NEAR(ts_for_target(target, 1.0, m), target, 1e-12);       // high load
+  EXPECT_NEAR(ts_for_target(target, 0.999999, m), target, 1e-3);
+}
+
+TEST_P(TsRuleTest, MonotoneDecreasingInRho) {
+  const int m = GetParam();
+  double prev = 1e18;
+  for (double rho = 0.0; rho < 1.0; rho += 0.01) {
+    const double ts = ts_for_target(10.0, rho, m);
+    ASSERT_LE(ts, prev + 1e-12) << "rho=" << rho;
+    prev = ts;
+  }
+}
+
+TEST_P(TsRuleTest, SeriesFormMatchesClosedForm) {
+  const int m = GetParam();
+  for (const double rho : {0.1, 0.4, 0.7, 0.95}) {
+    const double closed = 10.0 * m * (1.0 - rho) / (1.0 - std::pow(rho, m));
+    EXPECT_NEAR(ts_for_target(10.0, rho, m), closed, 1e-9);
+  }
+}
+
+TEST_P(TsRuleTest, FixedPointConsistency) {
+  // If the system converges to rho and applies eq. 13, the resulting mean
+  // vacation (eq. 10 with p = 1 - rho) equals the target.
+  const int m = GetParam();
+  const double target = 10.0;
+  for (const double rho : {0.05, 0.3, 0.6, 0.9}) {
+    const double ts = ts_for_target(target, rho, m);
+    const double v = mean_vacation_general_approx(ts, m, 1.0 - rho);
+    EXPECT_NEAR(v, target, 1e-9) << "rho=" << rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, TsRuleTest, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(ModelTest, MultiqueueReducesToSingleQueue) {
+  for (const double rho : {0.0, 0.2, 0.6, 0.95}) {
+    EXPECT_NEAR(ts_for_target_multiqueue(10.0, rho, 3, 1), ts_for_target(10.0, rho, 3), 1e-9);
+  }
+}
+
+TEST(ModelTest, MultiqueueUsesThreadsPerQueue) {
+  // M=6, N=2 behaves like M/N=3 threads on one queue.
+  for (const double rho : {0.0, 0.5, 0.9}) {
+    EXPECT_NEAR(ts_for_target_multiqueue(10.0, rho, 6, 2), ts_for_target(10.0, rho, 3), 1e-9);
+  }
+}
+
+TEST(ModelTest, MultiqueueFractionalThreadsPerQueue) {
+  // M=5, N=4: M/N = 1.25; the rule must interpolate smoothly between the
+  // integer cases and stay within their envelope.
+  const double rho = 0.5;
+  const double ts = ts_for_target_multiqueue(10.0, rho, 5, 4);
+  const double lo = ts_for_target(10.0, rho, 1);
+  const double hi = ts_for_target(10.0, rho, 2);
+  EXPECT_GT(ts, std::min(lo, hi));
+  EXPECT_LT(ts, std::max(lo, hi));
+}
+
+TEST(ModelTest, MultiqueueHighLoadStillTarget) {
+  EXPECT_NEAR(ts_for_target_multiqueue(15.0, 1.0, 8, 4), 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace metro::core::model

@@ -1,0 +1,193 @@
+// NIC model: Toeplitz RSS, rings, port dispatch, device caps.
+#include <gtest/gtest.h>
+
+#include "nic/port.hpp"
+#include "nic/rings.hpp"
+#include "nic/rss.hpp"
+#include "sim/simulation.hpp"
+
+namespace metro::nic {
+namespace {
+
+using sim::Time;
+
+// Microsoft RSS verification suite vectors (IPv4 with ports, default key).
+TEST(ToeplitzTest, MicrosoftReferenceVectors) {
+  // 66.9.149.187:2794 -> 161.142.100.80:1766  => 0x51ccc178
+  EXPECT_EQ(rss_hash_ipv4(0x420995bbu, 0xa18e6450u, 2794, 1766), 0x51ccc178u);
+  // 199.92.111.2:14230 -> 65.69.140.83:4739   => 0xc626b0ea
+  EXPECT_EQ(rss_hash_ipv4(0xc75c6f02u, 0x41458c53u, 14230, 4739), 0xc626b0eau);
+  // 24.19.198.95:12898 -> 12.22.207.184:38024 => 0x5c2b394a
+  EXPECT_EQ(rss_hash_ipv4(0x1813c65fu, 0x0c16cfb8u, 12898, 38024), 0x5c2b394au);
+}
+
+TEST(ToeplitzTest, DeterministicAndSensitive) {
+  const auto h1 = rss_hash_ipv4(0x01020304, 0x05060708, 100, 200);
+  EXPECT_EQ(h1, rss_hash_ipv4(0x01020304, 0x05060708, 100, 200));
+  EXPECT_NE(h1, rss_hash_ipv4(0x01020304, 0x05060708, 100, 201));
+}
+
+TEST(RetaTest, RoundRobinInitialization) {
+  RssReta reta(4);
+  int counts[4] = {0, 0, 0, 0};
+  for (std::uint32_t h = 0; h < RssReta::kSize; ++h) counts[reta.queue_for(h)]++;
+  for (int c : counts) EXPECT_EQ(c, static_cast<int>(RssReta::kSize) / 4);
+}
+
+TEST(RxRingTest, FifoOrder) {
+  sim::Simulation sim;
+  RxRing ring(sim, 8);
+  for (int i = 0; i < 5; ++i) {
+    PacketDesc p;
+    p.flow_id = static_cast<std::uint32_t>(i);
+    EXPECT_TRUE(ring.push(p));
+  }
+  PacketDesc out[8];
+  const int n = ring.pop_burst(out, 8);
+  ASSERT_EQ(n, 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i].flow_id, static_cast<std::uint32_t>(i));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RxRingTest, TailDropWhenFull) {
+  sim::Simulation sim;
+  RxRing ring(sim, 4);
+  PacketDesc p;
+  for (int i = 0; i < 6; ++i) ring.push(p);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_received(), 4u);
+  EXPECT_EQ(ring.total_dropped(), 2u);
+}
+
+TEST(RxRingTest, BurstLimitRespected) {
+  sim::Simulation sim;
+  RxRing ring(sim, 64);
+  PacketDesc p;
+  for (int i = 0; i < 50; ++i) ring.push(p);
+  PacketDesc out[32];
+  EXPECT_EQ(ring.pop_burst(out, 32), 32);
+  EXPECT_EQ(ring.pop_burst(out, 32), 18);
+  EXPECT_EQ(ring.pop_burst(out, 32), 0);
+}
+
+TEST(RxRingTest, WrapAroundKeepsIntegrity) {
+  sim::Simulation sim;
+  RxRing ring(sim, 4);
+  PacketDesc out[4];
+  std::uint32_t next = 0, expect = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      PacketDesc p;
+      p.flow_id = next++;
+      ring.push(p);
+    }
+    const int n = ring.pop_burst(out, 3);
+    for (int i = 0; i < n; ++i) ASSERT_EQ(out[i].flow_id, expect++);
+  }
+}
+
+TEST(TxRingTest, BatchThresholdDefersFlush) {
+  sim::Simulation sim;
+  std::vector<Time> tx_times;
+  TxRing tx(sim, 4, [&](const PacketDesc&, Time t) { tx_times.push_back(t); });
+  PacketDesc p;
+  for (int i = 0; i < 3; ++i) tx.send(p);
+  EXPECT_TRUE(tx_times.empty());
+  EXPECT_EQ(tx.pending(), 3u);
+  tx.send(p);  // fourth fills the batch
+  EXPECT_EQ(tx_times.size(), 4u);
+  EXPECT_EQ(tx.pending(), 0u);
+}
+
+TEST(TxRingTest, BatchOfOneTransmitsImmediately) {
+  sim::Simulation sim;
+  int sent = 0;
+  TxRing tx(sim, 1, [&](const PacketDesc&, Time) { ++sent; });
+  PacketDesc p;
+  tx.send(p);
+  EXPECT_EQ(sent, 1);
+}
+
+TEST(TxRingTest, ExplicitFlushDrainsPending) {
+  sim::Simulation sim;
+  int sent = 0;
+  TxRing tx(sim, 32, [&](const PacketDesc&, Time) { ++sent; });
+  PacketDesc p;
+  tx.send(p);
+  tx.send(p);
+  tx.flush();
+  EXPECT_EQ(sent, 2);
+  EXPECT_EQ(tx.total_transmitted(), 2u);
+}
+
+TEST(PortTest, RssSpreadsFlowsAcrossQueues) {
+  sim::Simulation sim;
+  PortConfig cfg = x520_config(4);
+  cfg.rx_ring_size = 4096;  // nobody drains in this test
+  Port port(sim, cfg);
+  sim::Rng rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    PacketDesc p;
+    p.rss_hash = static_cast<std::uint32_t>(rng.next_u64());
+    port.rx(p);
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GT(port.rx_queue(q).total_received(), 800u) << "queue " << q;
+  }
+  EXPECT_EQ(port.total_rx(), 4000u);
+}
+
+TEST(PortTest, SameFlowAlwaysSameQueue) {
+  sim::Simulation sim;
+  Port port(sim, x520_config(3));
+  PacketDesc p;
+  p.rss_hash = 0xdeadbeef;
+  for (int i = 0; i < 100; ++i) port.rx(p);
+  int nonzero_queues = 0;
+  for (int q = 0; q < 3; ++q) {
+    if (port.rx_queue(q).total_received() > 0) ++nonzero_queues;
+  }
+  EXPECT_EQ(nonzero_queues, 1);
+}
+
+TEST(PortTest, DeviceCapDropsAboveMaxPps) {
+  sim::Simulation sim;
+  PortConfig cfg = xl710_config(1);
+  Port port(sim, cfg);
+  // Offer 74 Mpps (13.5 ns gap) for 1 ms: the 37 Mpps cap must drop ~half.
+  const Time gap = 13;
+  Time t = 0;
+  const int n = 74000;
+  for (int i = 0; i < n; ++i) {
+    PacketDesc p;
+    p.arrival = t;
+    t += gap;
+    port.rx(p);
+  }
+  const double accept_ratio =
+      static_cast<double>(port.total_rx()) / static_cast<double>(n);
+  EXPECT_NEAR(accept_ratio, 0.5, 0.05);
+  EXPECT_GT(port.device_cap_drops(), 0u);
+}
+
+TEST(PortTest, X520HasNoDeviceCap) {
+  sim::Simulation sim;
+  Port port(sim, x520_config(1));
+  PacketDesc p;
+  p.arrival = 0;
+  for (int i = 0; i < 100; ++i) port.rx(p);  // same instant: fine, ring drops only
+  EXPECT_EQ(port.device_cap_drops(), 0u);
+}
+
+TEST(PortTest, TotalDroppedAggregatesRings) {
+  sim::Simulation sim;
+  PortConfig cfg = x520_config(1);
+  cfg.rx_ring_size = 4;
+  Port port(sim, cfg);
+  PacketDesc p;
+  for (int i = 0; i < 10; ++i) port.rx(p);
+  EXPECT_EQ(port.total_dropped(), 6u);
+}
+
+}  // namespace
+}  // namespace metro::nic

@@ -1,0 +1,91 @@
+// The deployment planner: closed-form predictions vs the simulator.
+#include <gtest/gtest.h>
+
+#include "apps/experiment.hpp"
+#include "core/planner.hpp"
+
+namespace metro::core {
+namespace {
+
+TEST(PlannerTest, RhoMatchesRateRatio) {
+  PlannerInput in;
+  in.rate_pps = 7.44e6;
+  const auto out = plan(in);
+  EXPECT_NEAR(out.rho, 7.44e6 / in.service_rate_pps, 1e-9);
+}
+
+TEST(PlannerTest, SaturationDetected) {
+  PlannerInput in;
+  in.rate_pps = in.service_rate_pps * 2.0;
+  const auto out = plan(in);
+  EXPECT_EQ(out.rho, 1.0);
+  EXPECT_NEAR(out.cpu_percent, 100.0, 1e-9);
+}
+
+TEST(PlannerTest, CpuGrowsWithLoad) {
+  PlannerInput in;
+  double prev = -1.0;
+  for (const double mpps : {0.5, 2.0, 7.44, 14.88}) {
+    in.rate_pps = mpps * 1e6;
+    const auto out = plan(in);
+    EXPECT_GT(out.cpu_percent, prev);
+    prev = out.cpu_percent;
+  }
+}
+
+TEST(PlannerTest, WorstCaseExceedsMeanVacation) {
+  PlannerInput in;
+  const auto out = plan(in);
+  EXPECT_GT(out.worst_case_delay_us, out.mean_vacation_us);
+}
+
+TEST(PlannerTest, MultiqueueSplitsLoad) {
+  PlannerInput one;
+  one.rate_pps = 30e6;
+  one.n_queues = 1;
+  one.n_threads = 4;
+  PlannerInput four = one;
+  four.n_queues = 4;
+  // One queue at 30 Mpps is saturated; four queues are not.
+  EXPECT_EQ(plan(one).rho, 1.0);
+  EXPECT_LT(plan(four).rho, 0.5);
+}
+
+class PlannerVsSimTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlannerVsSimTest, PredictionsTrackSimulation) {
+  const double mpps = GetParam();
+
+  PlannerInput in;
+  in.rate_pps = mpps * 1e6;
+  const auto predicted = plan(in);
+
+  apps::ExperimentConfig cfg;
+  cfg.driver = apps::DriverKind::kMetronome;
+  cfg.workload.rate_mpps = mpps;
+  cfg.warmup = 100 * sim::kMillisecond;
+  cfg.measure = 300 * sim::kMillisecond;
+  const auto simulated = apps::run_experiment(cfg);
+
+  // The planner is a coarse model: require agreement, not equality.
+  EXPECT_NEAR(predicted.rho, simulated.rho, 0.10) << "rho";
+  EXPECT_NEAR(predicted.ts_us, simulated.ts_us, 0.25 * predicted.ts_us) << "TS";
+  EXPECT_NEAR(predicted.cpu_percent, simulated.cpu_percent,
+              0.40 * predicted.cpu_percent + 4.0)
+      << "CPU";
+  // Vacation: the point prediction must land inside the model envelope
+  // [TS_eff/M, TS_eff] together with the simulated value (the two can
+  // differ by the residual thread-platooning the decorrelation assumption
+  // ignores — see planner.hpp).
+  const double ts_eff = predicted.ts_us + in.sleep_overhead_us;
+  EXPECT_GE(simulated.vacation_us.mean(), ts_eff / in.n_threads * 0.8);
+  EXPECT_LE(simulated.vacation_us.mean(), ts_eff * 1.3);
+  EXPECT_NEAR(predicted.mean_vacation_us, simulated.vacation_us.mean(),
+              0.75 * predicted.mean_vacation_us)
+      << "vacation";
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, PlannerVsSimTest, ::testing::Values(1.0, 5.0, 10.0, 14.88));
+
+}  // namespace
+}  // namespace metro::core

@@ -1,0 +1,115 @@
+// Deterministic RNG: reproducibility and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace metro::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(42);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next_u64());
+  a.reseed(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    ASSERT_GE(u, 5.0);
+    ASSERT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformU64Unbiased) {
+  Rng rng(11);
+  // n = 3 exercises the Lemire rejection path.
+  std::array<int, 3> counts{};
+  const int draws = 300000;
+  for (int i = 0; i < draws; ++i) counts[rng.uniform_u64(3)]++;
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c), draws / 3.0, draws * 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ChanceFrequencyMatches) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.2) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(RngTest, ParetoBoundedBelowByScale) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+}  // namespace
+}  // namespace metro::sim

@@ -1,0 +1,187 @@
+// Statistics substrate: Summary, Histogram, Ewma, Table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/ewma.hpp"
+#include "sim/rng.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace metro {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+  stats::Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  stats::Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, MergeEqualsCombinedStream) {
+  sim::Rng rng(3);
+  stats::Summary all, a, b;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmptySides) {
+  stats::Summary a, b;
+  a.add(1.0);
+  a.add(3.0);
+  stats::Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SummaryTest, NumericallyStableForLargeOffsets) {
+  stats::Summary s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.001, 0.01);
+}
+
+TEST(HistogramTest, PercentilesOfUniformRamp) {
+  stats::Histogram h(1.0, 100.0);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.05), 5.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.25), 25.0, 1.0);
+}
+
+TEST(HistogramTest, BoxplotFields) {
+  stats::Histogram h(0.1, 100.0);
+  sim::Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.add(rng.normal(50.0, 5.0));
+  const auto b = h.boxplot();
+  EXPECT_EQ(b.count, 100000u);
+  EXPECT_NEAR(b.median, 50.0, 0.3);
+  EXPECT_NEAR(b.mean, 50.0, 0.2);
+  EXPECT_NEAR(b.p75 - b.p25, 2.0 * 0.6745 * 5.0, 0.3);  // IQR of a normal
+  EXPECT_NEAR(b.stddev, 5.0, 0.2);
+  EXPECT_LT(b.whisker_lo, b.p25);
+  EXPECT_GT(b.whisker_hi, b.p75);
+}
+
+TEST(HistogramTest, OverflowCountedNotBinned) {
+  stats::Histogram h(1.0, 10.0);
+  h.add(5.0);
+  h.add(500.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.summary().max(), 500.0);  // exact extremes kept
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  stats::Histogram h(0.5, 50.0);
+  sim::Rng rng(9);
+  for (int i = 0; i < 50000; ++i) h.add(rng.uniform(0.0, 40.0));
+  const auto d = h.density();
+  double integral = 0.0;
+  for (const double v : d) integral += v * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  stats::Histogram h(1.0, 10.0);
+  h.add(3.0);
+  h.add(100.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToFirstBin) {
+  stats::Histogram h(1.0, 10.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+}
+
+TEST(EwmaTest, FirstSamplePrimes) {
+  core::Ewma e(0.1);
+  e.update(5.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);  // not 0.9*0 + 0.1*5
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  core::Ewma e(0.2, 0.0);
+  for (int i = 0; i < 200; ++i) e.update(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+TEST(EwmaTest, StepResponseTimeConstant) {
+  core::Ewma e(0.1);
+  e.update(0.0);
+  int steps = 0;
+  while (e.value() < 0.63 && steps < 1000) {
+    e.update(1.0);
+    ++steps;
+  }
+  // ~1/alpha samples to reach 1 - 1/e of a unit step.
+  EXPECT_NEAR(steps, 10, 3);
+}
+
+TEST(EwmaTest, ResetUnprimes) {
+  core::Ewma e(0.5);
+  e.update(10.0);
+  e.reset();
+  e.update(2.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+}
+
+TEST(TableTest, AlignedOutputContainsCells) {
+  stats::Table t({"a", "long header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long header"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  stats::Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(stats::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(stats::Table::num(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace metro

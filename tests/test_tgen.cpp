@@ -1,0 +1,172 @@
+// Traffic generation: CBR/Poisson streams, ramp profile, flow mixes, feeder.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "nic/port.hpp"
+#include "sim/simulation.hpp"
+#include "tgen/feeder.hpp"
+#include "tgen/generator.hpp"
+
+namespace metro::tgen {
+namespace {
+
+using sim::Time;
+
+TEST(FlowSetTest, DeterministicAndDistinct) {
+  FlowSet a(64, 5), b(64, 5), c(64, 6);
+  EXPECT_EQ(a.tuple(3), b.tuple(3));
+  EXPECT_EQ(a.rss_hash(3), b.rss_hash(3));
+  EXPECT_NE(a.tuple(3), c.tuple(3));
+  // Flows are (statistically) distinct from each other.
+  int distinct = 0;
+  for (std::uint32_t i = 1; i < 64; ++i) {
+    if (!(a.tuple(i) == a.tuple(0))) ++distinct;
+  }
+  EXPECT_EQ(distinct, 63);
+}
+
+TEST(StreamGeneratorTest, CbrGapsAreExact) {
+  FlowSet flows(8, 1);
+  StreamConfig cfg;
+  cfg.rate_pps = 1e6;  // 1 us gap
+  cfg.duration = 100 * sim::kMicrosecond;
+  StreamGenerator gen(cfg, flows, std::make_unique<UniformFlowPicker>(8));
+  Time prev = -1;
+  int count = 0;
+  while (auto pkt = gen.next()) {
+    if (prev >= 0) {
+      EXPECT_EQ(pkt->arrival - prev, 1000);
+    }
+    prev = pkt->arrival;
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST(StreamGeneratorTest, PoissonMeanRateMatches) {
+  FlowSet flows(8, 1);
+  StreamConfig cfg;
+  cfg.rate_pps = 1e6;
+  cfg.poisson = true;
+  cfg.duration = 100 * sim::kMillisecond;
+  StreamGenerator gen(cfg, flows, std::make_unique<UniformFlowPicker>(8));
+  int count = 0;
+  while (gen.next()) ++count;
+  EXPECT_NEAR(count, 100000, 2000);
+}
+
+TEST(StreamGeneratorTest, ZeroRateProducesNothing) {
+  FlowSet flows(8, 1);
+  StreamConfig cfg;
+  cfg.rate_pps = 0.0;
+  StreamGenerator gen(cfg, flows, std::make_unique<UniformFlowPicker>(8));
+  EXPECT_FALSE(gen.next().has_value());
+}
+
+TEST(StreamGeneratorTest, RssHashMatchesFlowSet) {
+  FlowSet flows(4, 1);
+  StreamConfig cfg;
+  cfg.duration = 10 * sim::kMicrosecond;
+  cfg.rate_pps = 1e6;
+  StreamGenerator gen(cfg, flows, std::make_unique<UniformFlowPicker>(4));
+  while (auto pkt = gen.next()) {
+    EXPECT_EQ(pkt->rss_hash, flows.rss_hash(pkt->flow_id));
+  }
+}
+
+TEST(UnbalancedPickerTest, HeavyShareRespected) {
+  sim::Rng rng(2);
+  UnbalancedFlowPicker picker(0, 0.3, 1000);
+  int heavy = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (picker.pick(rng) == 0) ++heavy;
+  }
+  // 30% direct + ~0.1% of the uniform remainder.
+  EXPECT_NEAR(static_cast<double>(heavy) / n, 0.3, 0.01);
+}
+
+TEST(RampProfileTest, RisesThenFalls) {
+  // 60 s ramp, 2 s steps, peak 14 Mpps at the midpoint (§V-B).
+  RampProfile ramp(0.5e6, 14e6, 2 * sim::kSecond, 60 * sim::kSecond);
+  const double early = ramp.rate_at(2 * sim::kSecond);
+  const double mid = ramp.rate_at(30 * sim::kSecond);
+  const double late = ramp.rate_at(55 * sim::kSecond);
+  EXPECT_LT(early, mid);
+  EXPECT_GT(mid, late);
+  EXPECT_NEAR(mid, 14e6, 1e6);
+  EXPECT_EQ(ramp.rate_at(-1), 0.0);
+  EXPECT_EQ(ramp.rate_at(61 * sim::kSecond), 0.0);
+}
+
+TEST(RampProfileTest, StepwiseConstantWithinStep) {
+  RampProfile ramp(1e6, 10e6, 2 * sim::kSecond, 60 * sim::kSecond);
+  EXPECT_EQ(ramp.rate_at(4 * sim::kSecond + 1), ramp.rate_at(5 * sim::kSecond));
+}
+
+TEST(ProfileGeneratorTest, FollowsProfileRate) {
+  FlowSet flows(8, 1);
+  RampProfile ramp(1e6, 5e6, 100 * sim::kMillisecond, sim::kSecond);
+  ProfileGenerator gen(ramp, sim::kSecond, 64, flows, std::make_unique<UniformFlowPicker>(8));
+  // Count packets in the first 100 ms (low rate) vs around the peak.
+  std::map<int, int> per_bucket;
+  while (auto pkt = gen.next()) {
+    per_bucket[static_cast<int>(pkt->arrival / (100 * sim::kMillisecond))]++;
+  }
+  EXPECT_GT(per_bucket[5], per_bucket[0] * 2);
+}
+
+sim::Task consume_all(sim::Simulation&, nic::RxRing& ring, int& received) {
+  nic::PacketDesc buf[32];
+  for (;;) {
+    const int n = ring.pop_burst(buf, 32);
+    received += n;
+    if (n == 0) co_await ring.arrival_signal().wait();
+  }
+}
+
+TEST(FeederTest, DeliversEverythingToThePort) {
+  sim::Simulation sim;
+  nic::Port port(sim, nic::x520_config(1));
+  FlowSet flows(16, 1);
+  StreamConfig cfg;
+  cfg.rate_pps = 2e6;
+  cfg.duration = 50 * sim::kMillisecond;
+  StreamGenerator gen(cfg, flows, std::make_unique<UniformFlowPicker>(16));
+  int received = 0;
+  sim.spawn(consume_all(sim, port.rx_queue(0), received));
+  attach(sim, port, gen);
+  sim.run_until(60 * sim::kMillisecond);
+  EXPECT_EQ(received, 100000);
+  EXPECT_EQ(port.total_dropped(), 0u);
+}
+
+TEST(FeederTest, ArrivalTimestampsNeverExceedDeliveryTime) {
+  // The feeder groups packets but must deliver them only after their wire
+  // arrival time, so consumers can never see "future" packets.
+  sim::Simulation sim;
+  nic::Port port(sim, nic::x520_config(1));
+  FlowSet flows(4, 1);
+  StreamConfig cfg;
+  cfg.rate_pps = 14.88e6;
+  cfg.duration = 5 * sim::kMillisecond;
+  StreamGenerator gen(cfg, flows, std::make_unique<UniformFlowPicker>(4));
+  attach(sim, port, gen);
+  bool violated = false;
+  sim.spawn([](sim::Simulation& s, nic::RxRing& ring, bool& bad) -> sim::Task {
+    nic::PacketDesc buf[32];
+    for (;;) {
+      const int n = ring.pop_burst(buf, 32);
+      for (int i = 0; i < n; ++i) {
+        if (buf[i].arrival > s.now()) bad = true;
+      }
+      if (n == 0) co_await ring.arrival_signal().wait();
+    }
+  }(sim, port.rx_queue(0), violated));
+  sim.run_until(6 * sim::kMillisecond);
+  EXPECT_FALSE(violated);
+}
+
+}  // namespace
+}  // namespace metro::tgen
