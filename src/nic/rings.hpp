@@ -12,7 +12,10 @@
 // the cost of more MMIO doorbells — the paper measures both settings.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -23,9 +26,13 @@ namespace metro::nic {
 
 class RxRing {
  public:
+  /// Storage is rounded up to a power of two so index wrap is a mask, not
+  /// a division; the *logical* capacity (full/drop threshold) stays exactly
+  /// as requested, matching the configured descriptor count.
   RxRing(sim::Simulation& sim, int capacity)
       : capacity_(static_cast<std::size_t>(capacity)),
-        slots_(static_cast<std::size_t>(capacity)),
+        mask_(std::bit_ceil(static_cast<std::size_t>(capacity)) - 1),
+        slots_(mask_ + 1),
         arrival_signal_(sim) {}
 
   /// NIC-side enqueue. Returns false (and counts a drop) when full.
@@ -34,23 +41,30 @@ class RxRing {
       ++dropped_;
       return false;
     }
-    slots_[tail_] = pkt;
-    tail_ = (tail_ + 1) % capacity_;
+    slots_[tail_ & mask_] = pkt;
+    ++tail_;
     ++count_;
     ++received_;
     arrival_signal_.notify_all();
     return true;
   }
 
-  /// Driver-side burst retrieval (rte_eth_rx_burst semantics).
+  /// Driver-side burst retrieval (rte_eth_rx_burst semantics). Copies out
+  /// at most two contiguous runs (descriptors are PODs).
   int pop_burst(PacketDesc* out, int max) {
-    int n = 0;
-    while (n < max && count_ > 0) {
-      out[n++] = slots_[head_];
-      head_ = (head_ + 1) % capacity_;
-      --count_;
+    if (max <= 0) return 0;
+    std::size_t n = count_;
+    if (n > static_cast<std::size_t>(max)) n = static_cast<std::size_t>(max);
+    if (n == 0) return 0;
+    const std::size_t start = head_ & mask_;
+    const std::size_t first = std::min(n, (mask_ + 1) - start);
+    std::memcpy(out, slots_.data() + start, first * sizeof(PacketDesc));
+    if (n > first) {
+      std::memcpy(out + first, slots_.data(), (n - first) * sizeof(PacketDesc));
     }
-    return n;
+    head_ += n;
+    count_ -= n;
+    return static_cast<int>(n);
   }
 
   bool empty() const noexcept { return count_ == 0; }
@@ -65,9 +79,10 @@ class RxRing {
   sim::Signal& arrival_signal() noexcept { return arrival_signal_; }
 
  private:
-  std::size_t capacity_;
+  std::size_t capacity_;  // logical capacity (full threshold)
+  std::size_t mask_;      // storage size - 1 (power of two)
   std::vector<PacketDesc> slots_;
-  std::size_t head_ = 0;
+  std::size_t head_ = 0;  // monotonically increasing; masked on access
   std::size_t tail_ = 0;
   std::size_t count_ = 0;
   std::uint64_t received_ = 0;

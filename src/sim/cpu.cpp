@@ -52,13 +52,31 @@ void Core::set_spinning(EntityId id, bool spinning) {
   Entity& e = entities_[static_cast<std::size_t>(id)];
   if (e.spinning == spinning) return;
   e.spinning = spinning;
-  const bool was_active = !spinning && e.has_job;  // active via job already
   if (spinning) {
-    if (!e.has_job) active_.push_back(id);
-  } else if (!was_active) {
-    std::erase(active_, id);
+    if (!e.has_job) activate(id);
+  } else if (!e.has_job) {
+    deactivate(id);
   }
   reschedule_completion();
+}
+
+void Core::activate(EntityId id) {
+  Entity& e = entities_[static_cast<std::size_t>(id)];
+  assert(e.active_pos < 0);
+  e.active_pos = static_cast<int>(active_.size());
+  active_.push_back(id);
+  active_weight_ += e.weight;
+}
+
+void Core::deactivate(EntityId id) {
+  Entity& e = entities_[static_cast<std::size_t>(id)];
+  assert(e.active_pos >= 0);
+  const EntityId last = active_.back();
+  active_[static_cast<std::size_t>(e.active_pos)] = last;
+  entities_[static_cast<std::size_t>(last)].active_pos = e.active_pos;
+  active_.pop_back();
+  e.active_pos = -1;
+  active_weight_ -= e.weight;
 }
 
 void Core::submit_job(EntityId id, Time work, std::coroutine_handle<> h) {
@@ -68,7 +86,7 @@ void Core::submit_job(EntityId id, Time work, std::coroutine_handle<> h) {
   e.has_job = true;
   e.remaining = static_cast<double>(work);
   e.waiter = h;
-  if (!e.spinning) active_.push_back(id);  // spinners are already active
+  if (!e.spinning) activate(id);  // spinners are already active
   reschedule_completion();
 }
 
@@ -88,8 +106,7 @@ void Core::settle() {
   energy_j_ += to_seconds(dt) *
                (calib::kCoreStaticWatts * f + calib::kCoreDynamicWatts * f * f * f);
 
-  double total_weight = 0.0;
-  for (EntityId id : active_) total_weight += entities_[static_cast<std::size_t>(id)].weight;
+  const double total_weight = static_cast<double>(active_weight_);
   for (EntityId id : active_) {
     Entity& e = entities_[static_cast<std::size_t>(id)];
     const double share = e.weight / total_weight;
@@ -111,22 +128,20 @@ void Core::reschedule_completion() {
         e.remaining = 0.0;
         auto h = e.waiter;
         e.waiter = nullptr;
-        if (!e.spinning) std::erase(active_, id);
-        if (h) {
-          sim_.schedule_after(0, [h] {
-            if (!h.done()) h.resume();
-          });
-        }
+        if (!e.spinning) deactivate(id);
+        if (h) sim_.schedule_handle_after(0, h);
         retired = true;
         break;  // active_ mutated; restart scan
       }
     }
   }
 
-  ++completion_generation_;
+  if (completion_event_ != Simulation::kInvalidEvent) {
+    sim_.cancel(completion_event_);
+    completion_event_ = Simulation::kInvalidEvent;
+  }
   // Find the earliest completion among remaining jobs.
-  double total_weight = 0.0;
-  for (EntityId id : active_) total_weight += entities_[static_cast<std::size_t>(id)].weight;
+  const double total_weight = static_cast<double>(active_weight_);
   double best_eta = -1.0;
   for (EntityId id : active_) {
     const Entity& e = entities_[static_cast<std::size_t>(id)];
@@ -136,14 +151,13 @@ void Core::reschedule_completion() {
     if (best_eta < 0.0 || eta < best_eta) best_eta = eta;
   }
   if (best_eta >= 0.0) {
-    const auto gen = completion_generation_;
-    sim_.schedule_after(static_cast<Time>(std::ceil(best_eta)),
-                        [this, gen] { on_completion_event(gen); });
+    completion_event_ = sim_.schedule_after(static_cast<Time>(std::ceil(best_eta)),
+                                            [this] { on_completion_event(); });
   }
 }
 
-void Core::on_completion_event(std::uint64_t generation) {
-  if (generation != completion_generation_) return;  // stale
+void Core::on_completion_event() {
+  completion_event_ = Simulation::kInvalidEvent;  // this event just fired
   settle();
   reschedule_completion();
 }

@@ -128,15 +128,19 @@ class Core {
     bool has_job = false;
     double remaining = 0.0;  // ns of work at nominal frequency
     std::coroutine_handle<> waiter;
-    Time on_cpu = 0;  // accrued on-CPU wall time
+    Time on_cpu = 0;       // accrued on-CPU wall time
+    int active_pos = -1;   // index into active_, -1 when not runnable
   };
 
   void submit_job(EntityId id, Time work, std::coroutine_handle<> h);
+  /// O(1) active-set maintenance (swap-remove; total weight kept in sync).
+  void activate(EntityId id);
+  void deactivate(EntityId id);
   /// Distribute CPU time since last_update_ across active entities.
   void settle();
   /// (Re)compute and schedule the next job-completion event.
   void reschedule_completion();
-  void on_completion_event(std::uint64_t generation);
+  void on_completion_event();
   void governor_tick();
   void set_freq(double ratio);
 
@@ -146,12 +150,15 @@ class Core {
 
   std::vector<Entity> entities_;
   std::vector<EntityId> active_;  // runnable entities (spinning or has_job)
+  std::int64_t active_weight_ = 0;  // sum of active entities' weights (exact)
 
   Time last_update_ = 0;
   Time busy_time_ = 0;
   double energy_j_ = 0.0;
   double freq_ratio_ = 1.0;
-  std::uint64_t completion_generation_ = 0;
+  /// Pending completion timer; cancelled and re-armed on every state
+  /// change instead of being left to fire as a stale no-op.
+  Simulation::EventId completion_event_ = Simulation::kInvalidEvent;
 
   // ondemand sampling state
   Time last_sample_at_ = 0;

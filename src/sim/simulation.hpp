@@ -2,20 +2,37 @@
 //
 // A Simulation owns:
 //   * the virtual clock (nanoseconds, see time.hpp),
-//   * a priority queue of timestamped events,
+//   * a binary min-heap of timestamped events,
 //   * the coroutine frames of all spawned processes,
 //   * a deterministic RNG shared by models that need randomness.
 //
 // Events inserted at equal timestamps run in insertion order (a strictly
 // increasing sequence number breaks ties), which keeps runs bit-for-bit
 // reproducible.
+//
+// The event path is allocation-free in steady state and built for
+// throughput:
+//   * a heap entry is a 32-byte POD {time, seq, payload} compared and
+//     moved contiguously — no type erasure on the hot path;
+//   * the overwhelmingly common event is "resume this coroutine"
+//     (sleep_for, SleepService wake-ups, Core job completions, Signal
+//     resumes): the raw handle rides inside the heap entry itself, with
+//     zero side-table bookkeeping;
+//   * callback events (governor ticks, timers, test fixtures) live in a
+//     pooled slot with a small-buffer-optimised callable and a stable
+//     EventId, so pending timers can be *cancelled in O(log n)* instead of
+//     being left to fire as stale no-ops. Callables that are trivially
+//     copyable and fit kInlineCallbackSize bytes never touch the heap
+//     allocator.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -26,6 +43,17 @@ namespace metro::sim {
 
 class Simulation {
  public:
+  /// Stable identifier of a pending *callback* event: {slot generation,
+  /// slot index}. Ids are invalidated the moment the event fires or is
+  /// cancelled; a stale id can never alias a newer event (the generation
+  /// is bumped on every slot reuse). 0 is never a valid id.
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  /// Callables at most this size (and trivially copyable/destructible) are
+  /// stored inline in the pooled slot — no heap traffic.
+  static constexpr std::size_t kInlineCallbackSize = 24;
+
   explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
 
   Simulation(const Simulation&) = delete;
@@ -34,7 +62,11 @@ class Simulation {
   ~Simulation() {
     // Drop pending events first so no event can refer to a destroyed frame,
     // then destroy all frames (they are suspended, so destroy() is legal).
-    events_ = {};
+    for (const HeapEntry& e : heap_) {
+      if (e.kind == Kind::kCallback) slots_[e.slot].cb.destroy();
+    }
+    heap_.clear();
+    slots_.clear();
     for (auto h : processes_) {
       if (h) h.destroy();
     }
@@ -44,32 +76,80 @@ class Simulation {
   Rng& rng() noexcept { return rng_; }
 
   /// Schedule a callback at absolute virtual time `t` (>= now()).
-  void schedule_at(Time t, std::function<void()> fn) {
-    events_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+  /// Returns an id usable with cancel() while the event is pending.
+  template <typename F>
+  EventId schedule_at(Time t, F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].cb.emplace(std::forward<F>(fn));
+    HeapEntry e;
+    e.at = t < now_ ? now_ : t;
+    e.seq = next_seq_++;
+    e.payload = nullptr;
+    e.slot = slot;
+    e.kind = Kind::kCallback;
+    push_entry(e);
+    return make_id(slot);
   }
 
   /// Schedule a callback `delay` nanoseconds from now.
-  void schedule_after(Time delay, std::function<void()> fn) {
-    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  template <typename F>
+  EventId schedule_after(Time delay, F&& fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn));
+  }
+
+  /// Schedule a coroutine resume at absolute virtual time `t`. This is the
+  /// hot path: the raw handle rides in the heap entry, nothing is erased,
+  /// nothing can be cancelled (no user needs to revoke a bare resume; a
+  /// cancellable timer is a callback event). Resumes landing at the
+  /// current instant (Signal notifies, spawns, job completions) bypass the
+  /// heap entirely: they run at now() in insertion order, which is exactly
+  /// the now-FIFO — O(1) instead of O(log n).
+  void schedule_handle_at(Time t, std::coroutine_handle<> h) {
+    HeapEntry e;
+    e.at = t < now_ ? now_ : t;
+    e.seq = next_seq_++;
+    e.payload = h.address();
+    e.slot = 0;
+    e.kind = Kind::kCoroutine;
+    if (e.at == now_) {
+      fifo_.push_back(e);
+    } else {
+      push_entry(e);
+    }
+  }
+
+  void schedule_handle_after(Time delay, std::coroutine_handle<> h) {
+    schedule_handle_at(now_ + (delay < 0 ? 0 : delay), h);
+  }
+
+  /// Remove a pending callback event in O(log n). Returns false when the
+  /// id is stale (already fired, already cancelled, or never valid).
+  bool cancel(EventId id) {
+    const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (id == kInvalidEvent || slot >= slots_.size()) return false;
+    CallbackSlot& s = slots_[slot];
+    if (s.generation != gen) return false;
+    const std::uint32_t pos = s.heap_pos;
+    assert(pos < heap_.size() && heap_[pos].slot == slot &&
+           heap_[pos].kind == Kind::kCallback);
+    remove_at(pos);
+    s.cb.destroy();
+    release_slot(slot);
+    return true;
   }
 
   /// Start a simulation process. The first resume happens "now".
   void spawn(Task task) {
     auto handle = task.release();
     processes_.push_back(handle);
-    schedule_after(0, [handle] {
-      if (!handle.done()) handle.resume();
-    });
+    schedule_handle_after(0, handle);
   }
 
   /// Run until the event queue drains or the clock passes `end`.
   /// Events at exactly `end` are executed. Returns the final clock value.
   Time run_until(Time end) {
-    while (!events_.empty() && events_.top().at <= end) {
-      Event ev = std::move(const_cast<Event&>(events_.top()));
-      events_.pop();
-      now_ = ev.at;
-      ev.fn();
+    while (step_if(end)) {
     }
     if (now_ < end) now_ = end;
     return now_;
@@ -77,17 +157,17 @@ class Simulation {
 
   /// Run until no events remain (all processes finished or are blocked).
   Time run() {
-    while (!events_.empty()) {
-      Event ev = std::move(const_cast<Event&>(events_.top()));
-      events_.pop();
-      now_ = ev.at;
-      ev.fn();
+    while (step_if(kTimeMax)) {
     }
     return now_;
   }
 
-  bool idle() const noexcept { return events_.empty(); }
-  std::size_t pending_events() const noexcept { return events_.size(); }
+  bool idle() const noexcept { return heap_.empty() && fifo_empty(); }
+  std::size_t pending_events() const noexcept {
+    return heap_.size() + (fifo_.size() - fifo_head_);
+  }
+  /// Total events executed since construction (throughput accounting).
+  std::uint64_t events_processed() const noexcept { return processed_; }
 
   // --- awaitables -----------------------------------------------------
 
@@ -100,9 +180,7 @@ class Simulation {
       Time delay;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        sim.schedule_after(delay, [h] {
-          if (!h.done()) h.resume();
-        });
+        sim.schedule_handle_after(delay, h);
       }
       void await_resume() const noexcept {}
     };
@@ -112,19 +190,248 @@ class Simulation {
   auto sleep_until(Time t) { return sleep_for(t - now_); }
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& other) const noexcept {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+  enum class Kind : std::uint32_t { kCoroutine, kCallback };
+
+  /// Type-erased callable with small-buffer optimisation. Trivially
+  /// copyable callables up to kInlineCallbackSize live in `storage`
+  /// directly; larger or non-trivial ones are heap-allocated and only the
+  /// pointer lives inline. Either way the wrapper itself is trivially
+  /// movable.
+  struct SmallCallback {
+    alignas(void*) unsigned char storage[kInlineCallbackSize];
+    void (*invoke)(void* self) = nullptr;
+    void (*destroy_fn)(void* self) = nullptr;  // set only for heap fallback
+
+    template <typename F>
+    void emplace(F&& fn) {
+      using Fn = std::decay_t<F>;
+      if constexpr (sizeof(Fn) <= kInlineCallbackSize &&
+                    alignof(Fn) <= alignof(void*) &&
+                    std::is_trivially_copyable_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>) {
+        ::new (static_cast<void*>(storage)) Fn(std::forward<F>(fn));
+        invoke = [](void* self) { (*static_cast<Fn*>(self))(); };
+        destroy_fn = nullptr;
+      } else {
+        auto* heap = new Fn(std::forward<F>(fn));
+        std::memcpy(storage, &heap, sizeof(heap));
+        invoke = [](void* self) {
+          Fn* p;
+          std::memcpy(&p, self, sizeof(p));
+          (*p)();
+        };
+        destroy_fn = [](void* self) {
+          Fn* p;
+          std::memcpy(&p, self, sizeof(p));
+          delete p;
+        };
+      }
+    }
+
+    void operator()() { invoke(storage); }
+    void destroy() {
+      if (destroy_fn != nullptr) {
+        destroy_fn(storage);
+        destroy_fn = nullptr;
+      }
+      invoke = nullptr;
     }
   };
 
+  /// 32-byte POD heap entry; comparisons and sift moves stay inside the
+  /// contiguous heap array.
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    void* payload;       // kCoroutine: raw coroutine frame address
+    std::uint32_t slot;  // kCallback: index into slots_
+    Kind kind;
+  };
+  static_assert(sizeof(HeapEntry) == 32);
+  static_assert(std::is_trivially_copyable_v<HeapEntry>);
+
+  /// Pooled storage for callback events (the cancellable minority).
+  struct CallbackSlot {
+    SmallCallback cb;            // 40 bytes
+    std::uint32_t generation = 1;
+    std::uint32_t heap_pos = 0;  // doubles as the free-list link when free
+  };
+
+  static bool precedes(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  /// Branch-free (at, seq) comparison. The heap descent picks a child by
+  /// a data-dependent 50/50 choice; as a conditional branch that is a
+  /// mispredict every other level and dominates pop cost, so the pick is
+  /// computed with flag arithmetic instead.
+  static std::uint32_t precedes_u(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned>(a.at < b.at) |
+        (static_cast<unsigned>(a.at == b.at) & static_cast<unsigned>(a.seq < b.seq)));
+  }
+
+  std::uint32_t acquire_slot() {
+    std::uint32_t slot;
+    if (free_head_ != kNilSlot) {
+      slot = free_head_;
+      free_head_ = slots_[slot].heap_pos;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    return slot;
+  }
+
+  void release_slot(std::uint32_t slot) {
+    CallbackSlot& s = slots_[slot];
+    ++s.generation;
+    s.heap_pos = free_head_;
+    free_head_ = slot;
+  }
+
+  EventId make_id(std::uint32_t slot) const noexcept {
+    return (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
+  }
+
+  void place(std::uint32_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    if (e.kind == Kind::kCallback) slots_[e.slot].heap_pos = pos;
+  }
+
+  void push_entry(const HeapEntry& e) {
+    heap_.push_back(e);
+    sift_up(static_cast<std::uint32_t>(heap_.size() - 1), e);
+  }
+
+  /// Move `e` up from the hole at `pos` to its final position.
+  void sift_up(std::uint32_t pos, const HeapEntry& e) {
+    while (pos > 0) {
+      const std::uint32_t parent = (pos - 1) / 2;
+      if (!precedes(e, heap_[parent])) break;
+      place(pos, heap_[parent]);
+      pos = parent;
+    }
+    place(pos, e);
+  }
+
+  /// Move `e` down from the hole at `pos` to its final position.
+  void sift_down(std::uint32_t pos, const HeapEntry& e) {
+    const auto n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      std::uint32_t child = 2 * pos + 1;
+      if (child >= n) break;
+      if (child + 1 < n && precedes(heap_[child + 1], heap_[child])) ++child;
+      if (!precedes(heap_[child], e)) break;
+      place(pos, heap_[child]);
+      pos = child;
+    }
+    place(pos, e);
+  }
+
+  /// Remove the entry at heap position `pos`.
+  void remove_at(std::uint32_t pos) {
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (pos == heap_.size()) return;
+    if (pos > 0 && precedes(last, heap_[(pos - 1) / 2])) {
+      sift_up(pos, last);
+    } else {
+      sift_down(pos, last);
+    }
+  }
+
+  /// Remove the minimum (Floyd's optimisation): percolate the hole to the
+  /// bottom choosing the smaller child — one compare per level instead of
+  /// two — then bubble the displaced last element up. In an event queue
+  /// the last element is almost always late, so the bubble-up is O(1).
+  void pop_min() {
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const auto n = static_cast<std::uint32_t>(heap_.size());
+    if (n == 0) return;
+    std::uint32_t pos = 0;
+    for (;;) {
+      std::uint32_t child = 2 * pos + 1;
+      if (child >= n) break;
+      // Branch-free smaller-child pick; when there is no right child this
+      // compares the left child against itself (false), which is safe.
+      const auto has_right = static_cast<std::uint32_t>(child + 1 < n);
+      child += has_right & precedes_u(heap_[child + has_right], heap_[child]);
+      place(pos, heap_[child]);
+      pos = child;
+    }
+    sift_up(pos, last);
+  }
+
+  bool fifo_empty() const noexcept { return fifo_head_ == fifo_.size(); }
+
+  void fifo_pop() {
+    if (++fifo_head_ == fifo_.size()) {
+      // The FIFO fully drains before the clock can advance, so the buffer
+      // is recycled (not freed) between instants — allocation-free once
+      // warm.
+      fifo_.clear();
+      fifo_head_ = 0;
+    }
+  }
+
+  void dispatch(const HeapEntry& top) {
+    now_ = top.at;
+    ++processed_;
+    if (top.kind == Kind::kCoroutine) {
+      const auto h = std::coroutine_handle<>::from_address(top.payload);
+      if (!h.done()) h.resume();
+    } else {
+      // Detach the callable before invoking: the handler may schedule new
+      // events that reuse this slot, and the popped id is stale from here.
+      SmallCallback cb = slots_[top.slot].cb;  // trivial copy; takes ownership
+      release_slot(top.slot);
+      cb();
+      cb.destroy();
+    }
+  }
+
+  /// Pop and execute the earliest event with at <= end, false when none.
+  bool step_if(Time end) {
+    if (fifo_empty()) {
+      if (heap_.empty() || heap_[0].at > end) return false;
+      const HeapEntry top = heap_[0];
+      // Start pulling the coroutine frame in while the heap descent runs;
+      // resume() needs it a few dozen cycles from now.
+      if (top.kind == Kind::kCoroutine) __builtin_prefetch(top.payload);
+      pop_min();
+      dispatch(top);
+      return true;
+    }
+    // The FIFO front is its minimum (entries are appended in seq order at
+    // a single instant); merge it with the heap top by (at, seq).
+    if (heap_.empty() || precedes(fifo_[fifo_head_], heap_[0])) {
+      const HeapEntry top = fifo_[fifo_head_];
+      if (top.at > end) return false;
+      fifo_pop();
+      dispatch(top);
+    } else {
+      const HeapEntry top = heap_[0];
+      if (top.at > end) return false;
+      pop_min();
+      dispatch(top);
+    }
+    return true;
+  }
+
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  static constexpr Time kTimeMax = INT64_MAX;
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t processed_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<HeapEntry> fifo_;  // coroutine resumes at the current instant
+  std::size_t fifo_head_ = 0;
+  std::vector<CallbackSlot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
   std::vector<std::coroutine_handle<Task::promise_type>> processes_;
   Rng rng_;
 };
@@ -135,69 +442,167 @@ class Simulation {
 /// stretch: the poller is logically spinning (and is accounted as busy),
 /// but the simulator skips straight to the next packet arrival.
 ///
-/// Each wait allocates a one-shot token so a timed wait can be raced by
-/// both the notification and its timeout without double-resume.
+/// Waiters form an intrusive doubly-linked FIFO over a pooled token array —
+/// a wait costs no allocation in steady state. A timed wait arms a
+/// cancellable kernel timer; notification cancels the timer (and vice
+/// versa the timer detaches the waiter), so notify racing timeout can
+/// never double-resume.
 class Signal {
  public:
   explicit Signal(Simulation& sim) : sim_(sim) {}
 
-  /// co_await sig.wait(): suspend until the next notify_all().
-  auto wait() { return WaitAwaiter{*this, -1, nullptr}; }
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
 
-  /// co_await sig.wait_for(t): suspend until notify_all() or `t` elapses,
-  /// whichever comes first. Resumes with true if notified.
-  auto wait_for(Time timeout) { return WaitAwaiter{*this, timeout, nullptr}; }
-
-  /// Wake all current waiters (they resume via the event queue, at now()).
-  void notify_all() {
-    if (waiters_.empty()) return;
-    auto woken = std::move(waiters_);
-    waiters_.clear();
-    for (auto& t : woken) {
-      if (!t->armed) continue;  // already resumed via timeout
-      t->armed = false;
-      t->notified = true;
-      auto h = t->handle;
-      sim_.schedule_after(0, [h] {
-        if (!h.done()) h.resume();
-      });
+  /// Cancel every armed timeout on destruction: the timer callbacks hold a
+  /// raw pointer back to this Signal and must never fire after it is gone.
+  /// Still-queued waiters simply never resume; their frames are reclaimed
+  /// by the owning Simulation.
+  ~Signal() {
+    for (std::uint32_t i = head_; i != kNil; i = pool_[i].next) {
+      if (pool_[i].timeout_event != Simulation::kInvalidEvent) {
+        sim_.cancel(pool_[i].timeout_event);
+      }
     }
   }
 
-  bool has_waiters() const noexcept { return !waiters_.empty(); }
+  /// co_await sig.wait(): suspend until the next notify_all().
+  auto wait() { return WaitAwaiter{*this, -1, kNil}; }
+
+  /// co_await sig.wait_for(t): suspend until notify_all() or `t` elapses,
+  /// whichever comes first. Resumes with true if notified.
+  auto wait_for(Time timeout) { return WaitAwaiter{*this, timeout, kNil}; }
+
+  /// Wake all current waiters (they resume via the event queue, at now(),
+  /// in wait order).
+  void notify_all() {
+    std::uint32_t i = head_;
+    head_ = tail_ = kNil;
+    while (i != kNil) {
+      Token& t = pool_[i];
+      const std::uint32_t next = t.next;
+      t.next = t.prev = kNil;
+      t.waiting = false;
+      t.notified = true;
+      if (t.timeout_event != Simulation::kInvalidEvent) {
+        sim_.cancel(t.timeout_event);
+        t.timeout_event = Simulation::kInvalidEvent;
+      }
+      sim_.schedule_handle_after(0, t.handle);
+      i = next;
+    }
+  }
+
+  bool has_waiters() const noexcept { return head_ != kNil; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Token {
     std::coroutine_handle<> handle;
-    bool armed = true;
+    Simulation::EventId timeout_event = Simulation::kInvalidEvent;
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;
+    std::uint32_t generation = 0;
+    bool waiting = false;
     bool notified = false;
+  };
+
+  /// Fired by the kernel when a timed wait expires un-notified.
+  struct TimeoutFire {
+    Signal* sig;
+    std::uint32_t token;
+    std::uint32_t generation;
+    void operator()() const {
+      Token& t = sig->pool_[token];
+      if (t.generation != generation || !t.waiting) return;  // stale
+      sig->detach(token);
+      t.waiting = false;
+      t.notified = false;
+      t.timeout_event = Simulation::kInvalidEvent;
+      if (!t.handle.done()) t.handle.resume();
+    }
   };
 
   struct WaitAwaiter {
     Signal& sig;
     Time timeout;  // < 0: wait forever
-    std::shared_ptr<Token> token;
+    std::uint32_t token;
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      token = std::make_shared<Token>();
-      token->handle = h;
-      sig.waiters_.push_back(token);
+      token = sig.acquire_token();
+      Token& t = sig.pool_[token];
+      t.handle = h;
+      t.waiting = true;
+      t.notified = false;
+      sig.append(token);
       if (timeout >= 0) {
-        auto t = token;
-        sig.sim_.schedule_after(timeout, [t] {
-          if (!t->armed) return;
-          t->armed = false;
-          t->notified = false;
-          if (!t->handle.done()) t->handle.resume();
-        });
+        t.timeout_event =
+            sig.sim_.schedule_after(timeout, TimeoutFire{&sig, token, t.generation});
       }
     }
-    bool await_resume() const noexcept { return token && token->notified; }
+    bool await_resume() noexcept {
+      const bool notified = sig.pool_[token].notified;
+      sig.release_token(token);
+      return notified;
+    }
   };
 
+  std::uint32_t acquire_token() {
+    std::uint32_t i;
+    if (free_head_ != kNil) {
+      i = free_head_;
+      free_head_ = pool_[i].next;
+    } else {
+      i = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    pool_[i].next = pool_[i].prev = kNil;
+    return i;
+  }
+
+  void release_token(std::uint32_t i) {
+    Token& t = pool_[i];
+    assert(!t.waiting && "token released while still queued");
+    ++t.generation;
+    t.handle = nullptr;
+    t.next = free_head_;
+    free_head_ = i;
+  }
+
+  void append(std::uint32_t i) {
+    Token& t = pool_[i];
+    t.prev = tail_;
+    t.next = kNil;
+    if (tail_ != kNil) {
+      pool_[tail_].next = i;
+    } else {
+      head_ = i;
+    }
+    tail_ = i;
+  }
+
+  void detach(std::uint32_t i) {
+    Token& t = pool_[i];
+    if (t.prev != kNil) {
+      pool_[t.prev].next = t.next;
+    } else {
+      head_ = t.next;
+    }
+    if (t.next != kNil) {
+      pool_[t.next].prev = t.prev;
+    } else {
+      tail_ = t.prev;
+    }
+    t.next = t.prev = kNil;
+  }
+
   Simulation& sim_;
-  std::vector<std::shared_ptr<Token>> waiters_;
+  std::vector<Token> pool_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::uint32_t free_head_ = kNil;
 };
 
 }  // namespace metro::sim

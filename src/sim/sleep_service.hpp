@@ -76,12 +76,12 @@ class SleepService {
         const Time timer = service->sample_timer_latency(requested);
         // Two-phase: fire the timer, then apply dispatch latency sampled at
         // wake time (contention is evaluated when the timer fires, not when
-        // the sleep starts).
+        // the sleep starts). The timer callback is 16 bytes and trivially
+        // copyable, so it rides inline in the event slot; the final resume
+        // is a raw-handle event — neither phase allocates.
         service->sim_.schedule_after(timer, [service, h] {
           const Time dispatch = service->sample_dispatch_latency();
-          service->sim_.schedule_after(dispatch, [h] {
-            if (!h.done()) h.resume();
-          });
+          service->sim_.schedule_handle_after(dispatch, h);
         });
       }
       void await_resume() const noexcept {}

@@ -1,0 +1,83 @@
+// Bit-for-bit determinism of full simulation runs.
+//
+// Two runs of an identical configuration must produce identical packet
+// counters, drop counters, event counts and final clocks — equal-timestamp
+// events run in insertion order, the RNG is owned by the Simulation, and
+// nothing on the event path depends on host state.
+#include <gtest/gtest.h>
+
+#include "apps/experiment.hpp"
+#include "sim/time.hpp"
+
+namespace metro::apps {
+namespace {
+
+struct RunFingerprint {
+  std::uint64_t rx = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t events = 0;
+  sim::Time final_clock = 0;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+RunFingerprint run_scenario(const ExperimentConfig& cfg) {
+  Testbed bed(cfg);
+  bed.start();
+  bed.run_until(cfg.warmup + cfg.measure);
+  RunFingerprint fp;
+  fp.rx = bed.port().total_rx();
+  fp.dropped = bed.port().total_dropped();
+  fp.tx = bed.port().tx().total_transmitted();
+  fp.processed = bed.packets_processed();
+  fp.events = bed.sim().events_processed();
+  fp.final_clock = bed.sim().now();
+  return fp;
+}
+
+ExperimentConfig multiqueue_config() {
+  // Fig. 13-style: XL710, 2 queues, 4 Metronome threads, 37 Mpps offered.
+  ExperimentConfig cfg;
+  cfg.driver = DriverKind::kMetronome;
+  cfg.xl710 = true;
+  cfg.n_queues = 2;
+  cfg.n_cores = 4;
+  cfg.met.n_threads = 4;
+  cfg.met.target_vacation = 15 * sim::kMicrosecond;
+  cfg.workload.rate_mpps = 37.0;
+  cfg.workload.n_flows = 1024;
+  cfg.warmup = 20 * sim::kMillisecond;
+  cfg.measure = 60 * sim::kMillisecond;
+  return cfg;
+}
+
+TEST(DeterminismTest, MultiqueueMetronomeRunsAreBitIdentical) {
+  const auto cfg = multiqueue_config();
+  const auto a = run_scenario(cfg);
+  const auto b = run_scenario(cfg);
+  EXPECT_GT(a.processed, 100000u) << "scenario must do real work";
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeterminismTest, StaticPollingRunsAreBitIdentical) {
+  auto cfg = multiqueue_config();
+  cfg.driver = DriverKind::kStaticPolling;
+  cfg.governor = sim::Governor::kOndemand;  // exercise governor-tick timers
+  const auto a = run_scenario(cfg);
+  const auto b = run_scenario(cfg);
+  EXPECT_GT(a.processed, 100000u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  auto cfg = multiqueue_config();
+  const auto a = run_scenario(cfg);
+  cfg.workload.seed = 43;
+  const auto b = run_scenario(cfg);
+  EXPECT_NE(a.events, b.events) << "seed must actually steer the workload";
+}
+
+}  // namespace
+}  // namespace metro::apps

@@ -1,0 +1,111 @@
+// The event-ID API: O(log n) timer cancellation and id staleness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace metro::sim {
+namespace {
+
+TEST(EventCancelTest, CancelledEventNeverFires) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_at(10, [&] { fired.push_back(1); });
+  const auto id = sim.schedule_at(20, [&] { fired.push_back(2); });
+  sim.schedule_at(30, [&] { fired.push_back(3); });
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventCancelTest, CancelIsIdempotentAndStaleAfterFire) {
+  Simulation sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(10, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id)) << "double cancel must be a no-op";
+  sim.run();
+  EXPECT_EQ(fired, 0);
+
+  const auto id2 = sim.schedule_after(10, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(id2)) << "fired events are stale";
+  EXPECT_FALSE(sim.cancel(Simulation::kInvalidEvent));
+}
+
+TEST(EventCancelTest, StaleIdCannotAliasReusedSlot) {
+  Simulation sim;
+  int first = 0, second = 0;
+  const auto id = sim.schedule_at(10, [&] { ++first; });
+  ASSERT_TRUE(sim.cancel(id));
+  // The freed slot is reused by the next callback; the old id must not
+  // cancel the new event.
+  sim.schedule_at(10, [&] { ++second; });
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EventCancelTest, CancelFromInsideAHandler) {
+  Simulation sim;
+  int fired = 0;
+  const auto doomed = sim.schedule_at(50, [&] { ++fired; });
+  sim.schedule_at(10, [&] { EXPECT_TRUE(sim.cancel(doomed)); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(EventCancelTest, CancelMiddleOfManyKeepsOrdering) {
+  Simulation sim;
+  std::vector<int> order;
+  std::vector<Simulation::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_at(5 + (i % 10), [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every third event.
+  std::vector<int> expected;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+    } else {
+      expected.push_back(i);
+    }
+  }
+  sim.run();
+  // Survivors still run in (time, insertion) order.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](int a, int b) { return a % 10 < b % 10; });
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventCancelTest, HeapStaysConsistentUnderChurn) {
+  // Deterministic schedule/cancel churn; the run must execute exactly the
+  // surviving events in order.
+  Simulation sim;
+  Rng rng(123);
+  std::vector<Simulation::EventId> live;
+  std::uint64_t scheduled = 0, cancelled = 0, fired = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const auto t = static_cast<Time>(rng.uniform_u64(10000));
+    live.push_back(sim.schedule_at(t, [&fired] { ++fired; }));
+    ++scheduled;
+    if (!live.empty() && rng.chance(0.4)) {
+      const auto pick = rng.uniform_u64(live.size());
+      if (sim.cancel(live[pick])) ++cancelled;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  sim.run();
+  EXPECT_EQ(fired, scheduled - cancelled);
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace metro::sim

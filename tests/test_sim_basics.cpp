@@ -1,6 +1,7 @@
 // Simulation kernel: clock, event ordering, coroutine processes, signals.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -192,6 +193,95 @@ TEST(SignalTest, TimeoutThenLaterNotifyDoesNotDoubleResume) {
   sim.run();
   EXPECT_FALSE(notified);
   EXPECT_EQ(at, 100);
+}
+
+TEST(SignalTest, DestroyedSignalWithArmedTimeoutIsSafe) {
+  // A Signal torn down mid-run must cancel its armed timeout timers; the
+  // still-queued waiter never resumes and nothing dangles.
+  Simulation sim;
+  auto sig = std::make_unique<Signal>(sim);
+  bool resumed = false;
+  sim.spawn([](Signal& g, bool& r) -> Task {
+    (void)co_await g.wait_for(1000);
+    r = true;
+  }(*sig, resumed));
+  sim.run_until(10);  // waiter queued, timeout armed at t=1000
+  sig.reset();
+  sim.run();  // the cancelled timer must not fire into freed memory
+  EXPECT_FALSE(resumed);
+}
+
+Task stress_waiter(Simulation& sim, Signal& sig, Time timeout, std::uint64_t rounds,
+                   std::uint64_t& resumes, std::uint64_t& notified_count) {
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    const bool notified = co_await sig.wait_for(timeout);
+    ++resumes;  // exactly one resume per wait, however the race lands
+    if (notified) ++notified_count;
+    (void)sim;
+  }
+}
+
+TEST(SignalStressTest, NotifyRacingTimeoutNeverDoubleResumes) {
+  // Many waiters with staggered timeouts racing a notifier whose period
+  // deliberately collides with some of them. Every wait must resume
+  // exactly once: resumes == waiters * rounds, no more, no fewer.
+  Simulation sim;
+  Signal sig(sim);
+  constexpr std::uint64_t kWaiters = 16;
+  constexpr std::uint64_t kRounds = 2000;
+  std::uint64_t resumes = 0, notified_count = 0;
+  for (std::uint64_t w = 0; w < kWaiters; ++w) {
+    // Timeouts from 200 ns to 3.2 us; the notifier fires every 1 us, so
+    // some waits time out, some are notified, and some collide at the
+    // exact same timestamp.
+    sim.spawn(stress_waiter(sim, sig, static_cast<Time>(200 * (w + 1)), kRounds, resumes,
+                            notified_count));
+  }
+  sim.spawn([](Simulation& s, Signal& g) -> Task {
+    for (;;) {
+      co_await s.sleep_for(1000);
+      g.notify_all();
+    }
+  }(sim, sig));
+  sim.run_until(10 * kMillisecond);
+  EXPECT_EQ(resumes, kWaiters * kRounds);
+  EXPECT_GT(notified_count, 0u);
+  EXPECT_LT(notified_count, kWaiters * kRounds);
+}
+
+TEST(SignalStressTest, ZeroTimeoutRacesNotifyAtSameInstant) {
+  // wait_for(0) arms a timeout at the current instant; a notify scheduled
+  // at the same timestamp must still produce exactly one resume.
+  Simulation sim;
+  Signal sig(sim);
+  std::uint64_t resumes = 0, notified_count = 0;
+  sim.spawn(stress_waiter(sim, sig, 0, 1000, resumes, notified_count));
+  sim.spawn([](Simulation& s, Signal& g) -> Task {
+    for (;;) {
+      g.notify_all();
+      co_await s.sleep_for(1);
+    }
+  }(sim, sig));
+  sim.run_until(100 * kMicrosecond);
+  EXPECT_EQ(resumes, 1000u);
+}
+
+TEST(SignalStressTest, ReNotifyWithinSameInstantWakesReWaiters) {
+  // A waiter that immediately re-waits must not be woken twice by the
+  // notify that released it, but must be picked up by the next one.
+  Simulation sim;
+  Signal sig(sim);
+  std::uint64_t resumes = 0, notified_count = 0;
+  sim.spawn(stress_waiter(sim, sig, -1 /* wait forever */, 500, resumes, notified_count));
+  sim.spawn([](Simulation& s, Signal& g) -> Task {
+    for (;;) {
+      g.notify_all();
+      co_await s.sleep_for(10);
+    }
+  }(sim, sig));
+  sim.run_until(100 * kMicrosecond);
+  EXPECT_EQ(resumes, 500u);
+  EXPECT_EQ(notified_count, 500u);
 }
 
 }  // namespace
