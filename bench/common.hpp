@@ -1,12 +1,21 @@
 // Shared helpers for the per-figure/table bench binaries.
 //
-// Each binary regenerates one table or figure from the paper's §V. Output
+// Each binary regenerates one table or figure from the paper's §V (the
+// full binary -> figure map lives in docs/BENCHMARKS.md). Output
 // convention: a header naming the experiment, the paper's qualitative
-// expectation, then an aligned table of the regenerated rows. Pass --fast
-// to any bench to shrink the measurement windows (CI smoke mode).
+// expectation, then an aligned table of the regenerated rows.
+//
+// Common CLI flags:
+//   --fast                shrink the measurement windows (CI smoke mode)
+//   --backend=heap|ladder|both
+//                         which event-queue backend(s) a kernel-level
+//                         bench drives (default: both). Figure benches run
+//                         the full app stack, which binds to the default
+//                         heap backend, and ignore this flag.
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -22,6 +31,28 @@ inline bool fast_mode(int argc, char** argv) {
   }
   return false;
 }
+
+/// Event-queue backend selection for kernel-level benches.
+enum class BackendChoice { kHeap, kLadder, kBoth };
+
+inline BackendChoice backend_choice(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      const char* v = argv[i] + 10;
+      if (std::strcmp(v, "heap") == 0) return BackendChoice::kHeap;
+      if (std::strcmp(v, "ladder") == 0) return BackendChoice::kLadder;
+      if (std::strcmp(v, "both") == 0) return BackendChoice::kBoth;
+      // A misconfigured CI step must fail loudly, not silently run the
+      // default (doubling runtime and changing the JSON shape).
+      std::cerr << "unknown --backend value '" << v << "' (heap|ladder|both)\n";
+      std::exit(2);
+    }
+  }
+  return BackendChoice::kBoth;
+}
+
+inline bool use_heap(BackendChoice c) { return c != BackendChoice::kLadder; }
+inline bool use_ladder(BackendChoice c) { return c != BackendChoice::kHeap; }
 
 inline void header(const std::string& title, const std::string& paper_expectation) {
   std::cout << "=== " << title << " ===\n";

@@ -4,22 +4,35 @@
 // src/sim/simulation.hpp, so its event throughput is the ceiling on how
 // many scenarios we can simulate per CPU-second. This bench pins that
 // number and emits BENCH_kernel.json so the trajectory is tracked PR over
-// PR.
+// PR. See docs/BENCHMARKS.md for the full field reference.
 //
-// Baseline: a faithful copy of the pre-refactor kernel (std::function
-// events in a std::priority_queue, shared_ptr-token Signal) is embedded
-// below under `legacy::` and run on the *same* scenarios, so the JSON
-// records the speedup of the allocation-free kernel over its predecessor
-// on the same machine, same build, same run.
+// Two axes are measured:
 //
-// Scenarios (kernel-level, run on both implementations):
+//   * new kernel vs. baseline — a faithful copy of the pre-refactor kernel
+//     (std::function events in a std::priority_queue, shared_ptr-token
+//     Signal) is embedded below under `legacy::` and run on the *same*
+//     scenarios, so the JSON records the speedup of the allocation-free
+//     kernel over its predecessor on the same machine, same build, same
+//     run;
+//   * heap vs. ladder backend — every kernel scenario runs on both
+//     event-queue backends (src/sim/event_queue.hpp), selectable with
+//     --backend=heap|ladder|both.
+//
+// Scenarios (kernel-level):
 //   * timer_churn      — callback events rescheduling themselves,
 //   * coroutine_sleep  — many processes looping over sleep_for,
 //   * signal_timeout   — timed waits raced by notifications (the polling-
 //                        driver idle pattern: every wait arms a timer that
-//                        is then made stale/cancelled by notify).
-// Plus a fig13-style multiqueue Metronome scenario on the new kernel only,
-// reporting simulated-packets/sec and wall time.
+//                        is then made stale/cancelled by notify),
+//   * fig13_multiqueue_kernel — the event population of the fig13
+//                        multiqueue experiment modelled at kernel level:
+//                        >10k concurrently pending flow timers plus
+//                        metronome-style timed waits. This is the regime
+//                        the ladder queue exists for.
+// Plus a fig13-style multiqueue Metronome scenario on the full app stack
+// (heap backend — the stack binds to the default kernel), reporting
+// simulated-packets/sec and wall time.
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <coroutine>
@@ -34,6 +47,7 @@
 
 #include "apps/experiment.hpp"
 #include "common.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 
@@ -182,6 +196,10 @@ class Signal {
 
 namespace {
 
+using metro::sim::BasicSignal;
+using metro::sim::BasicSimulation;
+using metro::sim::BinaryHeapBackend;
+using metro::sim::LadderQueueBackend;
 using metro::sim::Task;
 using metro::sim::Time;
 
@@ -249,23 +267,46 @@ void signal_timeout(Sim& sim, Sig& sig, std::uint64_t waiters, std::uint64_t ite
   sim.run();
 }
 
+// The fig13 multiqueue event population at kernel level: kFlows
+// concurrently pending per-flow timers (the >10k regime where a binary
+// heap pays ~14 levels per op), 2 queue signals, 4 metronome-style threads
+// on 15 us timed waits, notifies at burst cadence. Workload is identical
+// on every backend (pure kernel objects, fixed iteration counts).
+constexpr std::uint64_t kFig13Flows = 12288;
+
+template <typename Sim, typename Sig>
+void fig13_multiqueue_kernel(Sim& sim, Sig& q0, Sig& q1, std::uint64_t scale) {
+  struct FlowTimer {
+    Sim* sim;
+    std::uint64_t left;
+    Time period;
+    void operator()() {
+      if (left == 0) return;
+      sim->schedule_after(period, FlowTimer{sim, left - 1, period});
+    }
+  };
+  const std::uint64_t per_flow = scale * 50;
+  for (std::uint64_t f = 0; f < kFig13Flows; ++f) {
+    // Periods spread 50..150 us so the pending population stays dense and
+    // timestamps interleave across the full horizon.
+    const Time period = 50'000 + static_cast<Time>((f * 8'191) % 100'000);
+    sim.schedule_after(static_cast<Time>(f), FlowTimer{&sim, per_flow, period});
+  }
+  const std::uint64_t met_iters = scale * 40'000;
+  sim.spawn(signal_waiter(sim, q0, met_iters, 15'000));
+  sim.spawn(signal_waiter(sim, q0, met_iters, 15'000));
+  sim.spawn(signal_waiter(sim, q1, met_iters, 15'000));
+  sim.spawn(signal_waiter(sim, q1, met_iters, 15'000));
+  sim.spawn(signal_notifier(sim, q0, met_iters, 27'000));
+  sim.spawn(signal_notifier(sim, q1, met_iters, 31'000));
+  sim.run();
+}
+
 struct Run {
   double wall = 0.0;           // seconds for the fixed workload
   std::uint64_t events = 0;    // events the kernel processed to do it
-};
-
-// Both kernels simulate the *identical* workload, so the honest comparison
-// is wall time for equal work. Note the legacy kernel also executes stale
-// timeout events as no-ops (they count towards its raw event number but do
-// no useful work); events/sec is therefore normalised to the useful-event
-// count (the new kernel's, which fires no stale events) on both sides.
-struct ScenarioResult {
-  Run base;
-  Run next;
-  double speedup() const { return next.wall > 0 ? base.wall / next.wall : 0.0; }
-  double eps() const { return static_cast<double>(next.events) / next.wall; }
-  double baseline_eps() const { return static_cast<double>(next.events) / base.wall; }
-  double baseline_raw_eps() const { return static_cast<double>(base.events) / base.wall; }
+  bool ran = false;
+  double eps() const { return ran && wall > 0 ? static_cast<double>(events) / wall : 0.0; }
 };
 
 template <typename Fn>
@@ -274,64 +315,145 @@ Run measure(Fn&& run_kernel) {
   const auto t0 = std::chrono::steady_clock::now();
   r.events = run_kernel();
   r.wall = wall_seconds(t0);
+  r.ran = true;
   return r;
+}
+
+// Both kernels simulate the *identical* workload, so the honest comparison
+// is wall time for equal work. Note the legacy kernel also executes stale
+// timeout events as no-ops (they count towards its raw event number but do
+// no useful work); events/sec is therefore normalised to the useful-event
+// count (the new kernel's, which fires no stale events) on both sides.
+struct ScenarioResult {
+  Run base;    // legacy kernel (baseline)
+  Run heap;    // BinaryHeapBackend
+  Run ladder;  // LadderQueueBackend
+  const Run& best_new() const { return heap.ran ? heap : ladder; }
+  double speedup(const Run& next) const {
+    return next.wall > 0 ? base.wall / next.wall : 0.0;
+  }
+  // Useful-event rate: both backends process the same useful events.
+  double eps(const Run& next) const {
+    return next.wall > 0 ? static_cast<double>(best_new().events) / next.wall : 0.0;
+  }
+  double baseline_eps() const {
+    return base.wall > 0 ? static_cast<double>(best_new().events) / base.wall : 0.0;
+  }
+  double baseline_raw_eps() const {
+    return base.wall > 0 ? static_cast<double>(base.events) / base.wall : 0.0;
+  }
+};
+
+void emit_backend_run(std::ofstream& json, const char* key, const ScenarioResult& r,
+                      const Run& run, bool last) {
+  json << "      \"" << key << "\": {\"events_per_sec\": " << r.eps(run)
+       << ", \"wall_seconds\": " << run.wall
+       << ", \"speedup_vs_legacy\": " << r.speedup(run) << "}" << (last ? "\n" : ",\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool fast = metro::bench::fast_mode(argc, argv);
+  const auto choice = metro::bench::backend_choice(argc, argv);
+  const bool heap_on = metro::bench::use_heap(choice);
+  const bool ladder_on = metro::bench::use_ladder(choice);
   const std::uint64_t scale = fast ? 1 : 4;
 
-  metro::bench::header("Kernel throughput — events/sec, new vs pre-refactor kernel",
-                       "allocation-free POD-event kernel should clear 2x the legacy "
-                       "std::function/shared_ptr kernel");
+  metro::bench::header(
+      "Kernel throughput — events/sec: legacy baseline vs heap vs ladder backend",
+      "allocation-free POD-event kernel should clear 2x the legacy kernel; the "
+      "ladder backend should reach parity or better at >10k pending events");
 
-  ScenarioResult timer, sleep, signal;
+  ScenarioResult timer, sleep, signal, fig13k;
 
+  // --- legacy baselines (run once; scenario workloads are identical) ----
   timer.base = measure([&] {
     legacy::Simulation sim;
     timer_churn(sim, 64, scale * 20'000);
     return sim.events_processed();
   });
-  timer.next = measure([&] {
-    metro::sim::Simulation sim;
-    timer_churn(sim, 64, scale * 20'000);
-    return sim.events_processed();
-  });
-
   sleep.base = measure([&] {
     legacy::Simulation sim;
     coroutine_sleep(sim, 256, scale * 5'000);
     return sim.events_processed();
   });
-  sleep.next = measure([&] {
-    metro::sim::Simulation sim;
-    coroutine_sleep(sim, 256, scale * 5'000);
-    return sim.events_processed();
-  });
-
   signal.base = measure([&] {
     legacy::Simulation sim;
     legacy::Signal sig(sim);
     signal_timeout(sim, sig, 64, scale * 10'000);
     return sim.events_processed();
   });
-  signal.next = measure([&] {
-    metro::sim::Simulation sim;
-    metro::sim::Signal sig(sim);
-    signal_timeout(sim, sig, 64, scale * 10'000);
+  fig13k.base = measure([&] {
+    legacy::Simulation sim;
+    legacy::Signal q0(sim), q1(sim);
+    fig13_multiqueue_kernel(sim, q0, q1, scale);
     return sim.events_processed();
   });
 
-  // Overall: geometric mean across scenarios.
-  const double overall_base =
-      std::cbrt(timer.baseline_eps() * sleep.baseline_eps() * signal.baseline_eps());
-  const double overall_new = std::cbrt(timer.eps() * sleep.eps() * signal.eps());
-  const double overall_speedup = overall_new / overall_base;
+  // --- both new backends on the same scenarios --------------------------
+  const auto run_backend = [&](auto backend_tag) {
+    using Backend = decltype(backend_tag);
+    using Sim = BasicSimulation<Backend>;
+    using Sig = BasicSignal<Sim>;
+    std::array<Run, 4> out;
+    out[0] = measure([&] {
+      Sim sim;
+      timer_churn(sim, 64, scale * 20'000);
+      return sim.events_processed();
+    });
+    out[1] = measure([&] {
+      Sim sim;
+      coroutine_sleep(sim, 256, scale * 5'000);
+      return sim.events_processed();
+    });
+    out[2] = measure([&] {
+      Sim sim;
+      Sig sig(sim);
+      signal_timeout(sim, sig, 64, scale * 10'000);
+      return sim.events_processed();
+    });
+    out[3] = measure([&] {
+      Sim sim;
+      Sig q0(sim), q1(sim);
+      fig13_multiqueue_kernel(sim, q0, q1, scale);
+      return sim.events_processed();
+    });
+    return out;
+  };
 
-  // Fig. 13-style multiqueue Metronome scenario on the new kernel: XL710,
-  // 2 queues, 4 threads, 37 Mpps offered — end-to-end simulated-packet rate.
+  if (heap_on) {
+    const auto r = run_backend(BinaryHeapBackend{});
+    timer.heap = r[0];
+    sleep.heap = r[1];
+    signal.heap = r[2];
+    fig13k.heap = r[3];
+  }
+  if (ladder_on) {
+    const auto r = run_backend(LadderQueueBackend{});
+    timer.ladder = r[0];
+    sleep.ladder = r[1];
+    signal.ladder = r[2];
+    fig13k.ladder = r[3];
+  }
+
+  // Overall: geometric mean across the three classic scenarios (kept
+  // comparable with the PR-1 trajectory; fig13_multiqueue_kernel is
+  // reported separately as the large-population scenario).
+  const auto geomean3 = [](double a, double b, double c) { return std::cbrt(a * b * c); };
+  const double overall_base =
+      geomean3(timer.baseline_eps(), sleep.baseline_eps(), signal.baseline_eps());
+  const double overall_heap =
+      heap_on ? geomean3(timer.eps(timer.heap), sleep.eps(sleep.heap), signal.eps(signal.heap))
+              : 0.0;
+  const double overall_ladder =
+      ladder_on
+          ? geomean3(timer.eps(timer.ladder), sleep.eps(sleep.ladder), signal.eps(signal.ladder))
+          : 0.0;
+
+  // Fig. 13-style multiqueue Metronome scenario on the full app stack:
+  // XL710, 2 queues, 4 threads, 37 Mpps offered — end-to-end
+  // simulated-packet rate. The stack binds to the default (heap) kernel.
   metro::apps::ExperimentConfig cfg;
   cfg.driver = metro::apps::DriverKind::kMetronome;
   cfg.xl710 = true;
@@ -356,44 +478,86 @@ int main(int argc, char** argv) {
   const double fig13_eps = static_cast<double>(bed.sim().events_processed()) / fig13_wall;
   const double fig13_pps = fig13_pkts / fig13_wall;
 
-  const auto row = [](const char* name, const ScenarioResult& r) {
-    std::cout << "  " << name << ": " << metro::bench::num(r.baseline_eps() / 1e6) << " -> "
-              << metro::bench::num(r.eps() / 1e6) << " M useful events/s  (x"
-              << metro::bench::num(r.speedup()) << " wall; legacy raw rate "
-              << metro::bench::num(r.baseline_raw_eps() / 1e6) << " incl. stale no-ops)\n";
+  const auto row = [&](const char* name, const ScenarioResult& r) {
+    std::cout << "  " << name << ": legacy " << metro::bench::num(r.baseline_eps() / 1e6)
+              << " M useful events/s (raw " << metro::bench::num(r.baseline_raw_eps() / 1e6)
+              << " incl. stale no-ops)";
+    if (r.heap.ran) {
+      std::cout << " | heap " << metro::bench::num(r.eps(r.heap) / 1e6) << " M/s (x"
+                << metro::bench::num(r.speedup(r.heap)) << ")";
+    }
+    if (r.ladder.ran) {
+      std::cout << " | ladder " << metro::bench::num(r.eps(r.ladder) / 1e6) << " M/s (x"
+                << metro::bench::num(r.speedup(r.ladder)) << ")";
+    }
+    std::cout << "\n";
   };
-  row("timer_churn    ", timer);
-  row("coroutine_sleep", sleep);
-  row("signal_timeout ", signal);
-  std::cout << "  overall (geomean): " << metro::bench::num(overall_base / 1e6) << " -> "
-            << metro::bench::num(overall_new / 1e6) << " M events/s  (x"
-            << metro::bench::num(overall_speedup) << ")\n\n";
-  std::cout << "  fig13 multiqueue: " << metro::bench::num(fig13_pps / 1e6)
-            << " M simulated packets/s, " << metro::bench::num(fig13_eps / 1e6)
-            << " M events/s, wall " << metro::bench::num(fig13_wall) << " s, throughput "
+  row("timer_churn            ", timer);
+  row("coroutine_sleep        ", sleep);
+  row("signal_timeout         ", signal);
+  row("fig13_multiqueue_kernel", fig13k);
+  std::cout << "  overall (geomean of first three): legacy "
+            << metro::bench::num(overall_base / 1e6) << " M/s";
+  if (heap_on) {
+    std::cout << " | heap " << metro::bench::num(overall_heap / 1e6) << " M/s (x"
+              << metro::bench::num(overall_heap / overall_base) << ")";
+  }
+  if (ladder_on) {
+    std::cout << " | ladder " << metro::bench::num(overall_ladder / 1e6) << " M/s (x"
+              << metro::bench::num(overall_ladder / overall_base) << ")";
+  }
+  std::cout << "\n";
+  if (heap_on && ladder_on) {
+    std::cout << "  fig13 kernel scenario, ladder vs heap: x"
+              << metro::bench::num(fig13k.heap.wall / fig13k.ladder.wall) << " wall ("
+              << kFig13Flows << "+ pending events)\n";
+  }
+  std::cout << "\n  fig13 multiqueue (full stack, heap): "
+            << metro::bench::num(fig13_pps / 1e6) << " M simulated packets/s, "
+            << metro::bench::num(fig13_eps / 1e6) << " M events/s, wall "
+            << metro::bench::num(fig13_wall) << " s, throughput "
             << metro::bench::num(result.throughput_mpps, 1) << " Mpps simulated\n";
 
   std::ofstream json("BENCH_kernel.json");
   json << "{\n"
        << "  \"bench\": \"kernel_throughput\",\n"
        << "  \"fast_mode\": " << (fast ? "true" : "false") << ",\n"
+       << "  \"backends\": [";
+  if (heap_on) json << "\"heap\"" << (ladder_on ? ", " : "");
+  if (ladder_on) json << "\"ladder\"";
+  json << "],\n"
        << "  \"scenarios\": {\n";
   const auto emit = [&json](const char* name, const ScenarioResult& r, bool last) {
-    json << "    \"" << name << "\": {\"baseline_events_per_sec\": " << r.baseline_eps()
-         << ", \"events_per_sec\": " << r.eps() << ", \"speedup\": " << r.speedup()
+    json << "    \"" << name << "\": {\n"
+         << "      \"baseline_events_per_sec\": " << r.baseline_eps()
          << ", \"baseline_raw_events_per_sec\": " << r.baseline_raw_eps()
-         << ", \"baseline_wall_seconds\": " << r.base.wall
-         << ", \"wall_seconds\": " << r.next.wall << "}" << (last ? "\n" : ",\n");
+         << ", \"baseline_wall_seconds\": " << r.base.wall << ",\n";
+    if (r.heap.ran) emit_backend_run(json, "heap", r, r.heap, !r.ladder.ran);
+    if (r.ladder.ran) emit_backend_run(json, "ladder", r, r.ladder, true);
+    json << "    }" << (last ? "\n" : ",\n");
   };
   emit("timer_churn", timer, false);
   emit("coroutine_sleep", sleep, false);
-  emit("signal_timeout", signal, true);
+  emit("signal_timeout", signal, false);
+  emit("fig13_multiqueue_kernel", fig13k, true);
   json << "  },\n"
-       << "  \"overall\": {\"baseline_events_per_sec\": " << overall_base
-       << ", \"events_per_sec\": " << overall_new << ", \"speedup\": " << overall_speedup
-       << "},\n"
-       << "  \"fig13_multiqueue\": {\"simulated_packets_per_sec\": " << fig13_pps
-       << ", \"events_per_sec\": " << fig13_eps << ", \"wall_seconds\": " << fig13_wall
+       << "  \"overall\": {\"baseline_events_per_sec\": " << overall_base;
+  if (heap_on) {
+    json << ", \"heap_events_per_sec\": " << overall_heap
+         << ", \"heap_speedup\": " << overall_heap / overall_base;
+  }
+  if (ladder_on) {
+    json << ", \"ladder_events_per_sec\": " << overall_ladder
+         << ", \"ladder_speedup\": " << overall_ladder / overall_base;
+  }
+  json << "},\n";
+  if (heap_on && ladder_on) {
+    json << "  \"fig13_kernel_ladder_vs_heap_speedup\": "
+         << fig13k.heap.wall / fig13k.ladder.wall << ",\n";
+  }
+  json << "  \"fig13_multiqueue\": {\"backend\": \"heap\", \"simulated_packets_per_sec\": "
+       << fig13_pps << ", \"events_per_sec\": " << fig13_eps
+       << ", \"wall_seconds\": " << fig13_wall
        << ", \"simulated_throughput_mpps\": " << result.throughput_mpps << "}\n"
        << "}\n";
   std::cout << "\nwrote BENCH_kernel.json\n";

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Link check for the repo's markdown docs.
+
+Verifies that every relative link in README.md and docs/*.md points at an
+existing file (and, for in-repo markdown targets, that a referenced
+#anchor matches a heading in the target file). External http(s) links are
+not fetched — CI must stay hermetic — only their syntax is accepted.
+
+Exit code 0 when every link resolves, 1 otherwise (used by the CI docs
+job).
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Matches inline links AND images, with or without a quoted title:
+#   [text](path), ![alt](path), [text](path "title")
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces->dashes."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*]", "", text)         # inline formatting (GitHub
+    #                                          keeps literal underscores)
+    text = re.sub(r"[^\w\- ]", "", text)     # punctuation
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_file: Path) -> set[str]:
+    content = md_file.read_text(encoding="utf-8")
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(content)}
+
+
+def check_file(md_file: Path, repo_root: Path) -> list[str]:
+    errors = []
+    content = md_file.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # same-file anchor
+            if anchor and anchor not in anchors_of(md_file):
+                errors.append(f"{md_file}: broken anchor '#{anchor}'")
+            continue
+        resolved = (md_file.parent / path_part).resolve()
+        try:
+            resolved.relative_to(repo_root)
+        except ValueError:
+            errors.append(f"{md_file}: link escapes the repo: {target}")
+            continue
+        if not resolved.exists():
+            errors.append(f"{md_file}: broken link: {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                errors.append(
+                    f"{md_file}: broken anchor: {target} "
+                    f"(no heading slugs to '{anchor}' in {resolved.name})")
+    return errors
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    files = [repo_root / "README.md"] + sorted((repo_root / "docs").glob("*.md"))
+    errors: list[str] = []
+    checked = 0
+    for md_file in files:
+        if not md_file.exists():
+            errors.append(f"missing expected file: {md_file}")
+            continue
+        errors.extend(check_file(md_file, repo_root))
+        checked += 1
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,5 @@
-// The Metronome runtime (paper §III-B, §IV, Listing 2).
+/// \file metronome.hpp
+/// The Metronome runtime (paper §III-B, §IV, Listing 2).
 //
 // M threads cooperatively service the N Rx queues of a port. Each thread
 // loops forever:
@@ -32,6 +33,8 @@
 
 namespace metro::core {
 
+/// All tunables of the Metronome runtime. Paper defaults; every strategy
+/// choice the paper motivates is a knob so the benches can ablate it.
 struct MetronomeConfig {
   /// M: number of Metronome threads (paper default for 1 queue: 3).
   int n_threads = 3;
@@ -85,6 +88,10 @@ struct QueueState {
   }
 };
 
+/// The Metronome runtime: spawns M sleep/wake threads that cooperatively
+/// drain the port's Rx queues (see the file comment for the loop), owns
+/// the per-queue shared state, and aggregates the statistics the figure
+/// benches read.
 class Metronome {
  public:
   /// Threads are placed round-robin on `cores` (thread i on

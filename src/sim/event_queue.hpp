@@ -1,0 +1,599 @@
+/// \file event_queue.hpp
+/// Pluggable pending-event stores for the discrete-event kernel.
+///
+/// The kernel in simulation.hpp is templated over an *event-queue backend*:
+/// the data structure that holds every future-timestamped event. Two
+/// backends are provided:
+///
+///   * BinaryHeapBackend — the default. A binary min-heap of 32-byte POD
+///     entries with Floyd pops and positional O(log n) erase. Best up to a
+///     few thousand pending events; its pop cost grows as log n.
+///   * LadderQueueBackend — a ladder/calendar queue (Tang et al. style):
+///     far-future events sit unsorted in "top", are spilled into rungs of
+///     ever-finer buckets on demand, and only the imminent bucket is ever
+///     sorted ("bottom"). Amortised O(1) per event, independent of the
+///     pending count — built for the >10k-pending-event regime of the
+///     fig13/14 multiqueue and fig15 rate-sweep scenarios.
+///
+/// ## Backend concept and invariant contract
+///
+/// A backend `B` must satisfy `EventQueueBackend<B>` (checked against
+/// NullQueueContext below). Operations taking a `ctx` receive a *queue
+/// context* from the owning simulation providing:
+///
+///   * `ctx.moved(slot, pos)`  — position-tracking hook: must be invoked
+///     whenever a kCallback entry comes to rest at a new position, *iff*
+///     the backend declares `kPositionalCancel == true`. The simulation
+///     uses the recorded position for O(log n) `erase_at` cancellation.
+///   * `ctx.dead(entry)` — liveness query: true when a kCallback entry has
+///     been cancelled (tombstoned). Backends with
+///     `kPositionalCancel == false` never see a cancelled entry removed
+///     eagerly; they must use this hook to drop tombstones lazily and must
+///     never surface a dead entry from peek()/pop_min().
+///
+/// Every backend, regardless of cancellation style, must uphold the
+/// kernel's three invariants:
+///
+///   1. **Total order.** peek()/pop_min() yield live entries in strictly
+///      increasing (at, seq) order — the pair is unique, so the order is a
+///      total one and runs are bit-for-bit reproducible across backends.
+///   2. **Allocation freedom in steady state.** Internal storage may grow
+///      while warming up but must be recycled, never released, so that a
+///      periodic steady-state workload performs zero heap allocations
+///      (enforced by tests/test_alloc_free.cpp for both backends).
+///   3. **Exact live accounting.** size() counts live (non-cancelled)
+///      entries only and empty() == (size() == 0), even while tombstones
+///      still occupy internal storage.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace metro::sim {
+
+/// Discriminates the two event payload flavours carried by EventEntry.
+enum class EventKind : std::uint32_t {
+  kCoroutine,  ///< payload is a raw coroutine frame address (hot path)
+  kCallback    ///< slot indexes the simulation's pooled callback table
+};
+
+/// 32-byte POD event record; comparisons and moves stay inside contiguous
+/// backend storage. For kCoroutine entries `payload` is the frame address;
+/// for kCallback entries it carries the slot *generation* at scheduling
+/// time, which is how tombstoning backends detect cancellation (a
+/// cancelled slot's generation has been bumped).
+struct EventEntry {
+  Time at;            ///< absolute virtual timestamp, ns
+  std::uint64_t seq;  ///< global insertion sequence; ties broken by it
+  void* payload;      ///< coroutine frame, or encoded generation
+  std::uint32_t slot; ///< kCallback: index into the callback slot pool
+  EventKind kind;     ///< payload discriminator
+};
+static_assert(sizeof(EventEntry) == 32);
+static_assert(std::is_trivially_copyable_v<EventEntry>);
+
+/// Strict weak (in fact total) order: earlier time first, then earlier
+/// insertion. (at, seq) pairs are unique, so this is the total execution
+/// order shared by every backend and the now-FIFO.
+inline bool event_precedes(const EventEntry& a, const EventEntry& b) noexcept {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
+}
+
+/// Branch-free event_precedes as 0/1. The heap descent picks a child by a
+/// data-dependent 50/50 choice; as a conditional branch that is a
+/// mispredict every other level and dominates pop cost, so the pick is
+/// computed with flag arithmetic instead.
+inline std::uint32_t event_precedes_u(const EventEntry& a, const EventEntry& b) noexcept {
+  return static_cast<std::uint32_t>(
+      static_cast<unsigned>(a.at < b.at) |
+      (static_cast<unsigned>(a.at == b.at) & static_cast<unsigned>(a.seq < b.seq)));
+}
+
+/// Inert queue context used to type-check backends against the concept;
+/// also handy for backend unit tests that never cancel.
+struct NullQueueContext {
+  void moved(std::uint32_t, std::uint32_t) const noexcept {}
+  bool dead(const EventEntry&) const noexcept { return false; }
+};
+
+/// The backend policy concept (see the file comment for the full invariant
+/// contract). `peek`/`pop_min` have the precondition `!empty()`.
+///
+/// One cancellation-path member is additionally required depending on
+/// `kPositionalCancel` (it cannot be expressed in one concept because only
+/// one of the two is ever instantiated):
+///   * true  -> `erase_at(pos, slot, ctx)` removes the entry whose
+///     position was last reported via ctx.moved() for `slot`;
+///   * false -> `on_cancelled()` notes that one stored entry was
+///     tombstoned (ctx.dead() will flag it from now on).
+template <typename B>
+concept EventQueueBackend =
+    std::is_default_constructible_v<B> &&
+    requires(B b, const B cb, const EventEntry& e, NullQueueContext ctx) {
+      { B::kPositionalCancel } -> std::convertible_to<bool>;
+      { b.push(e, ctx) };
+      { b.peek(ctx) } -> std::convertible_to<const EventEntry&>;
+      { b.pop_min(ctx) };
+      { cb.size() } -> std::convertible_to<std::size_t>;
+      { cb.empty() } -> std::convertible_to<bool>;
+      { cb.for_each([](const EventEntry&) {}) };
+      { b.clear() };
+    };
+
+// ---------------------------------------------------------------------------
+// Binary heap backend (default)
+// ---------------------------------------------------------------------------
+
+/// Binary min-heap over (at, seq) with Floyd pops, a branch-free descent
+/// and positional erase. Cancellation is *eager*: the simulation records
+/// each kCallback entry's heap position via ctx.moved() and calls
+/// erase_at(), so no tombstones ever exist (ctx.dead() is never consulted).
+class BinaryHeapBackend {
+ public:
+  /// Eager positional cancellation: the owner tracks positions from
+  /// ctx.moved() and erases in O(log n).
+  static constexpr bool kPositionalCancel = true;
+
+  /// Insert an entry; O(log n).
+  template <typename Ctx>
+  void push(const EventEntry& e, Ctx ctx) {
+    heap_.push_back(e);
+    sift_up(static_cast<std::uint32_t>(heap_.size() - 1), e, ctx);
+  }
+
+  /// The live minimum. Precondition: !empty().
+  template <typename Ctx>
+  const EventEntry& peek(Ctx) const noexcept {
+    return heap_[0];
+  }
+
+  /// Remove the minimum (Floyd's optimisation): percolate the hole to the
+  /// bottom choosing the smaller child — one compare per level instead of
+  /// two — then bubble the displaced last element up. In an event queue
+  /// the last element is almost always late, so the bubble-up is O(1).
+  template <typename Ctx>
+  void pop_min(Ctx ctx) {
+    const EventEntry last = heap_.back();
+    heap_.pop_back();
+    const auto n = static_cast<std::uint32_t>(heap_.size());
+    if (n == 0) return;
+    std::uint32_t pos = 0;
+    for (;;) {
+      std::uint32_t child = 2 * pos + 1;
+      if (child >= n) break;
+      // Branch-free smaller-child pick; when there is no right child this
+      // compares the left child against itself (false), which is safe.
+      const auto has_right = static_cast<std::uint32_t>(child + 1 < n);
+      child += has_right & event_precedes_u(heap_[child + has_right], heap_[child]);
+      place(pos, heap_[child], ctx);
+      pos = child;
+    }
+    sift_up(pos, last, ctx);
+  }
+
+  /// Remove the entry at heap position `pos` (as last reported through
+  /// ctx.moved() for `slot`); O(log n).
+  template <typename Ctx>
+  void erase_at(std::uint32_t pos, std::uint32_t slot, Ctx ctx) {
+    assert(pos < heap_.size() && heap_[pos].slot == slot &&
+           heap_[pos].kind == EventKind::kCallback &&
+           "stale position: a ctx.moved() update was missed");
+    (void)slot;
+    const EventEntry last = heap_.back();
+    heap_.pop_back();
+    if (pos == heap_.size()) return;
+    if (pos > 0 && event_precedes(last, heap_[(pos - 1) / 2])) {
+      sift_up(pos, last, ctx);
+    } else {
+      sift_down(pos, last, ctx);
+    }
+  }
+
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Visit every stored entry (pending-event cleanup on destruction).
+  template <typename F>
+  void for_each(F f) const {
+    for (const EventEntry& e : heap_) f(e);
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  template <typename Ctx>
+  void place(std::uint32_t pos, const EventEntry& e, Ctx ctx) {
+    heap_[pos] = e;
+    if (e.kind == EventKind::kCallback) ctx.moved(e.slot, pos);
+  }
+
+  /// Move `e` up from the hole at `pos` to its final position.
+  template <typename Ctx>
+  void sift_up(std::uint32_t pos, const EventEntry& e, Ctx ctx) {
+    while (pos > 0) {
+      const std::uint32_t parent = (pos - 1) / 2;
+      if (!event_precedes(e, heap_[parent])) break;
+      place(pos, heap_[parent], ctx);
+      pos = parent;
+    }
+    place(pos, e, ctx);
+  }
+
+  /// Move `e` down from the hole at `pos` to its final position.
+  template <typename Ctx>
+  void sift_down(std::uint32_t pos, const EventEntry& e, Ctx ctx) {
+    const auto n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      std::uint32_t child = 2 * pos + 1;
+      if (child >= n) break;
+      if (child + 1 < n && event_precedes(heap_[child + 1], heap_[child])) ++child;
+      if (!event_precedes(heap_[child], e)) break;
+      place(pos, heap_[child], ctx);
+      pos = child;
+    }
+    place(pos, e, ctx);
+  }
+
+  std::vector<EventEntry> heap_;
+};
+
+static_assert(EventQueueBackend<BinaryHeapBackend>);
+
+// ---------------------------------------------------------------------------
+// Ladder queue backend
+// ---------------------------------------------------------------------------
+
+/// Ladder/calendar queue tuned for very large pending-event populations.
+///
+/// Structure (earliest at the bottom):
+///
+///     top     — unsorted vector for events at/after `top_floor_`
+///     rungs   — a stack of rungs, each kBuckets buckets of equal width;
+///               inner rungs subdivide one bucket of their parent
+///     bottom  — the imminent range, kept sorted by (at, seq)
+///
+/// An insert is O(1) into top or a rung bucket, or a bounded sorted insert
+/// into bottom (bottom spills into a fresh rung past a small threshold).
+/// A dequeue pops bottom's front; when bottom drains, the next non-empty
+/// bucket of the innermost rung is either sorted into bottom (small
+/// buckets) or subdivided into a child rung (large ones), and when rungs
+/// are exhausted, top is spilled into a fresh epoch of rung 0. Each event
+/// therefore takes amortised O(1) structural moves regardless of how many
+/// are pending — compared with the heap's log n — at the price of less
+/// predictable per-operation latency.
+///
+/// Cancellation is *lazy* (kPositionalCancel == false): the owner
+/// tombstones the slot (bumping its generation) and tells the backend via
+/// on_cancelled(); dead entries are dropped whenever ctx.dead() flags them
+/// during spills, sorts or peeks. size() always reports live entries only.
+///
+/// Steady-state allocation freedom: rungs are pooled and reused, bucket /
+/// bottom / top vectors are cleared but never shrunk, so a periodic
+/// workload stops allocating once every container has seen its peak.
+class LadderQueueBackend {
+ public:
+  /// Lazy tombstone cancellation (see class comment).
+  static constexpr bool kPositionalCancel = false;
+  /// Buckets per rung; also the spill fan-out (width shrink factor).
+  static constexpr std::uint32_t kBuckets = 32;
+  /// A dequeued bucket with at most this many entries is sorted straight
+  /// into bottom instead of spawning a child rung.
+  static constexpr std::size_t kSortThreshold = 32;
+  /// Bottom size at which an insert spills bottom into a fresh rung
+  /// (keeps the sorted-insert cost bounded).
+  static constexpr std::size_t kBottomSpill = 64;
+
+  /// Insert an entry: O(1) into top or a rung bucket, bounded sorted
+  /// insert into bottom.
+  template <typename Ctx>
+  void push(const EventEntry& e, Ctx ctx) {
+    ++live_;
+    if (e.at >= top_floor_) {
+      if (top_.empty() || e.at < top_min_) top_min_ = e.at;
+      if (top_.empty() || e.at > top_max_) top_max_ = e.at;
+      top_.push_back(e);
+      return;
+    }
+    if (e.at < boundary()) {
+      insert_bottom(e, ctx);
+      return;
+    }
+    // Walk rungs innermost -> outermost; the first rung whose range covers
+    // e.at owns it. The rung-chaining invariant (rung k's end == the start
+    // of rung k-1's next unconsumed bucket, and exhausted rungs are popped
+    // eagerly) guarantees the bucket index is never below the rung's
+    // consumption point.
+    for (std::uint32_t r = n_rungs_; r-- > 0;) {
+      Rung& rung = rungs_[r];
+      if (e.at >= rung.end) continue;
+      const std::uint32_t idx = rung.bucket_index(e.at);
+      assert(idx >= rung.cur);
+      rung.buckets[idx].push_back(e);
+      ++rung.count;
+      return;
+    }
+    // Unreachable while the routing invariants hold: [boundary, top_floor)
+    // is exactly the union of the active rungs' unconsumed ranges.
+    assert(false && "ladder routing gap");
+    insert_bottom(e, ctx);
+  }
+
+  /// The live minimum. Precondition: !empty().
+  template <typename Ctx>
+  const EventEntry& peek(Ctx ctx) {
+    ensure_bottom(ctx);
+    return bottom_[bottom_head_];
+  }
+
+  /// Remove the live minimum. Precondition: !empty().
+  template <typename Ctx>
+  void pop_min(Ctx ctx) {
+    ensure_bottom(ctx);
+    --live_;
+    if (++bottom_head_ == bottom_.size()) {
+      bottom_.clear();  // recycle capacity, never shrink
+      bottom_head_ = 0;
+    }
+  }
+
+  /// Tombstone notification: one pending entry was cancelled by the owner
+  /// (its slot generation is already bumped, so ctx.dead() now flags it).
+  void on_cancelled() noexcept {
+    assert(live_ > 0);
+    --live_;
+  }
+
+  std::size_t size() const noexcept { return live_; }
+  bool empty() const noexcept { return live_ == 0; }
+
+  /// Visit every stored entry, tombstones included (the owner re-checks
+  /// liveness; pending-event cleanup on destruction).
+  template <typename F>
+  void for_each(F f) const {
+    for (std::size_t i = bottom_head_; i < bottom_.size(); ++i) f(bottom_[i]);
+    for (std::uint32_t r = 0; r < n_rungs_; ++r) {
+      for (const auto& bucket : rungs_[r].buckets) {
+        for (const EventEntry& e : bucket) f(e);
+      }
+    }
+    for (const EventEntry& e : top_) f(e);
+  }
+
+  void clear() {
+    bottom_.clear();
+    bottom_head_ = 0;
+    for (std::uint32_t r = 0; r < n_rungs_; ++r) rungs_[r].reset();
+    n_rungs_ = 0;
+    top_.clear();
+    top_floor_ = 0;
+    live_ = 0;
+  }
+
+  /// Active rung count (observability for tests and the bench).
+  std::uint32_t rungs_in_use() const noexcept { return n_rungs_; }
+  /// Start of the current epoch's far-future region (top threshold).
+  Time top_floor() const noexcept { return top_floor_; }
+
+ private:
+  /// start + n * width, saturated at the Time maximum (events may carry
+  /// arbitrary int64 timestamps; rung geometry must not overflow).
+  static Time sat_offset(Time start, std::uint64_t n, Time width) noexcept {
+    const auto off = n * static_cast<std::uint64_t>(width);
+    const auto room = static_cast<std::uint64_t>(INT64_MAX - start);
+    return off > room ? INT64_MAX : start + static_cast<Time>(off);
+  }
+
+  /// One rung: kBuckets buckets of `width` ns covering [start, end). The
+  /// last bucket is an *overflow* bucket absorbing [start + (kBuckets-1) *
+  /// width, end) — `end` may exceed start + kBuckets * width when a
+  /// bottom-spill rung is stretched up to the outer boundary so that no
+  /// time range is left uncovered between rungs.
+  struct Rung {
+    Time start = 0;  ///< time of bucket 0's left edge
+    Time width = 1;  ///< bucket width, ns (>= 1)
+    Time end = 0;    ///< exclusive upper edge of the rung's range
+    std::uint32_t cur = 0;     ///< next unconsumed bucket index
+    std::size_t count = 0;     ///< stored entries (tombstones included)
+    std::array<std::vector<EventEntry>, kBuckets> buckets;
+
+    std::uint32_t bucket_index(Time at) const noexcept {
+      const auto idx = static_cast<std::uint64_t>((at - start) / width);
+      return idx < kBuckets - 1 ? static_cast<std::uint32_t>(idx) : kBuckets - 1;
+    }
+
+    /// Exclusive right edge of bucket `idx` (the overflow bucket ends at
+    /// the rung's own end).
+    Time bucket_end(std::uint32_t idx) const noexcept {
+      if (idx == kBuckets - 1) return end;
+      return std::min(end, sat_offset(start, idx + 1, width));
+    }
+
+    void reset() {
+      for (auto& b : buckets) b.clear();  // keep capacities
+      cur = 0;
+      count = 0;
+    }
+  };
+
+  /// Left edge of the first unconsumed region: everything strictly below
+  /// it belongs to bottom.
+  Time boundary() const noexcept {
+    if (n_rungs_ == 0) return top_floor_;
+    const Rung& r = rungs_[n_rungs_ - 1];
+    return std::min(r.end, sat_offset(r.start, r.cur, r.width));
+  }
+
+  template <typename Ctx>
+  void insert_bottom(const EventEntry& e, Ctx ctx) {
+    const auto first = bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_head_);
+    const auto pos = std::upper_bound(first, bottom_.end(), e,
+                                      [](const EventEntry& a, const EventEntry& b) {
+                                        return event_precedes(a, b);
+                                      });
+    bottom_.insert(pos, e);
+    if (bottom_.size() - bottom_head_ > kBottomSpill) spill_bottom(ctx);
+  }
+
+  /// Move an oversized bottom into a fresh innermost rung. The rung is
+  /// stretched to end exactly at the current boundary, so the union of
+  /// bottom + rungs + top still tiles the whole time axis with no gap or
+  /// overlap (the overflow bucket absorbs the stretch).
+  template <typename Ctx>
+  void spill_bottom(Ctx ctx) {
+    const Time lo = bottom_[bottom_head_].at;
+    const Time hi = bottom_.back().at;
+    if (lo == hi) return;  // single timestamp: appends are already O(1)
+    const Time cap = boundary();
+    assert(cap > hi);
+    Rung& rung = acquire_rung();
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    rung.start = lo;
+    rung.width = static_cast<Time>((span + kBuckets - 1) / kBuckets);
+    rung.end = cap;
+    for (std::size_t i = bottom_head_; i < bottom_.size(); ++i) {
+      const EventEntry& e = bottom_[i];
+      if (ctx.dead(e)) continue;
+      rung.buckets[rung.bucket_index(e.at)].push_back(e);
+      ++rung.count;
+    }
+    bottom_.clear();
+    bottom_head_ = 0;
+  }
+
+  /// Pop every exhausted rung off the top of the stack. Keeping exhausted
+  /// rungs out of the stack is what lets push() assume the innermost
+  /// rung's consumption point is a valid routing boundary.
+  void pop_exhausted_rungs() {
+    while (n_rungs_ > 0 && rungs_[n_rungs_ - 1].count == 0) {
+      rungs_[--n_rungs_].reset();
+    }
+  }
+
+  /// Refill bottom until its front is the global live minimum, dropping
+  /// tombstones on the way. Precondition: live_ > 0.
+  template <typename Ctx>
+  void ensure_bottom(Ctx ctx) {
+    for (;;) {
+      // Drop dead entries surfacing at the front.
+      while (bottom_head_ < bottom_.size() && ctx.dead(bottom_[bottom_head_])) {
+        if (++bottom_head_ == bottom_.size()) {
+          bottom_.clear();
+          bottom_head_ = 0;
+        }
+      }
+      if (bottom_head_ < bottom_.size()) return;  // front is the live min
+      pop_exhausted_rungs();
+      if (n_rungs_ > 0) {
+        const std::uint32_t ri = n_rungs_ - 1;
+        Rung& rung = rungs_[ri];
+        while (rung.buckets[rung.cur].empty()) {
+          ++rung.cur;
+          assert(rung.cur < kBuckets);
+        }
+        const std::uint32_t bi = rung.cur;
+        auto& bucket = rung.buckets[bi];
+        const Time bucket_lo = sat_offset(rung.start, bi, rung.width);
+        const Time bucket_hi = rung.bucket_end(bi);
+        ++rung.cur;  // boundary() advances past this bucket
+        rung.count -= bucket.size();
+        if (bucket.size() <= kSortThreshold || bucket_hi - bucket_lo <= 1) {
+          sort_into_bottom(bucket, ctx);
+          bucket.clear();
+        } else {
+          // Detach the bucket before acquire_rung(): growing the rung pool
+          // may reallocate and invalidate every reference into it. The
+          // swap-back afterwards pins the grown capacity to its bucket so
+          // steady-state workloads stop allocating once warm.
+          scratch_.swap(bucket);
+          spawn_child(bucket_lo, bucket_hi, ctx);
+          scratch_.clear();
+          rungs_[ri].buckets[bi].swap(scratch_);
+        }
+        pop_exhausted_rungs();
+        continue;
+      }
+      // Rungs exhausted: start a new epoch from top.
+      assert(!top_.empty() && "live_ > 0 but no entries stored");
+      spawn_from_top(ctx);
+    }
+  }
+
+  /// Move one dequeued bucket into bottom, sorted by the total (at, seq)
+  /// order, dropping tombstones.
+  template <typename Ctx>
+  void sort_into_bottom(std::vector<EventEntry>& bucket, Ctx ctx) {
+    assert(bottom_.empty() && bottom_head_ == 0);
+    for (const EventEntry& e : bucket) {
+      if (!ctx.dead(e)) bottom_.push_back(e);
+    }
+    std::sort(bottom_.begin(), bottom_.end(),
+              [](const EventEntry& a, const EventEntry& b) { return event_precedes(a, b); });
+  }
+
+  /// Subdivide one oversized bucket (detached into scratch_) into a child
+  /// rung covering exactly [bstart, bend) — no overlap with the parent's
+  /// remainder.
+  template <typename Ctx>
+  void spawn_child(Time bstart, Time bend, Ctx ctx) {
+    Rung& child = acquire_rung();
+    child.start = bstart;
+    child.width = static_cast<Time>(
+        (static_cast<std::uint64_t>(bend - bstart) + kBuckets - 1) / kBuckets);
+    child.end = bend;
+    for (const EventEntry& e : scratch_) {
+      if (ctx.dead(e)) continue;
+      child.buckets[child.bucket_index(e.at)].push_back(e);
+      ++child.count;
+    }
+  }
+
+  /// Spill the whole of top into a fresh rung 0, opening a new epoch: the
+  /// rung covers [top_min, top_min + kBuckets * width) and top_floor_
+  /// advances to its end (later far-future inserts start the next epoch).
+  template <typename Ctx>
+  void spawn_from_top(Ctx ctx) {
+    assert(n_rungs_ == 0);
+    Rung& rung = acquire_rung();
+    const auto span = static_cast<std::uint64_t>(top_max_ - top_min_) + 1;
+    rung.start = top_min_;
+    rung.width = static_cast<Time>((span + kBuckets - 1) / kBuckets);
+    rung.end = sat_offset(rung.start, kBuckets, rung.width);
+    top_floor_ = rung.end;
+    for (const EventEntry& e : top_) {
+      if (ctx.dead(e)) continue;
+      rung.buckets[rung.bucket_index(e.at)].push_back(e);
+      ++rung.count;
+    }
+    top_.clear();  // recycle capacity
+    top_min_ = top_max_ = 0;
+  }
+
+  Rung& acquire_rung() {
+    if (n_rungs_ == rungs_.size()) rungs_.emplace_back();  // warm-up only
+    Rung& r = rungs_[n_rungs_++];
+    assert(r.count == 0 && r.cur == 0);
+    return r;
+  }
+
+  std::vector<EventEntry> bottom_;  // sorted; consumed from bottom_head_
+  std::size_t bottom_head_ = 0;
+  std::vector<EventEntry> scratch_;  // detached bucket during a spawn
+  std::vector<Rung> rungs_;  // pooled; [0, n_rungs_) active, outermost first
+  std::uint32_t n_rungs_ = 0;
+  std::vector<EventEntry> top_;  // unsorted far-future pool
+  Time top_min_ = 0;
+  Time top_max_ = 0;
+  Time top_floor_ = 0;  // entries at/after this go to top
+  std::size_t live_ = 0;
+};
+
+static_assert(EventQueueBackend<LadderQueueBackend>);
+
+}  // namespace metro::sim

@@ -1,29 +1,33 @@
-// The discrete-event simulation kernel.
-//
-// A Simulation owns:
-//   * the virtual clock (nanoseconds, see time.hpp),
-//   * a binary min-heap of timestamped events,
-//   * the coroutine frames of all spawned processes,
-//   * a deterministic RNG shared by models that need randomness.
-//
-// Events inserted at equal timestamps run in insertion order (a strictly
-// increasing sequence number breaks ties), which keeps runs bit-for-bit
-// reproducible.
-//
-// The event path is allocation-free in steady state and built for
-// throughput:
-//   * a heap entry is a 32-byte POD {time, seq, payload} compared and
-//     moved contiguously — no type erasure on the hot path;
-//   * the overwhelmingly common event is "resume this coroutine"
-//     (sleep_for, SleepService wake-ups, Core job completions, Signal
-//     resumes): the raw handle rides inside the heap entry itself, with
-//     zero side-table bookkeeping;
-//   * callback events (governor ticks, timers, test fixtures) live in a
-//     pooled slot with a small-buffer-optimised callable and a stable
-//     EventId, so pending timers can be *cancelled in O(log n)* instead of
-//     being left to fire as stale no-ops. Callables that are trivially
-//     copyable and fit kInlineCallbackSize bytes never touch the heap
-//     allocator.
+/// \file simulation.hpp
+/// The discrete-event simulation kernel.
+///
+/// A BasicSimulation owns:
+///   * the virtual clock (nanoseconds, see time.hpp),
+///   * a pluggable pending-event store (see event_queue.hpp) holding
+///     timestamped events — a binary min-heap by default, or a ladder
+///     queue for very large pending populations,
+///   * the coroutine frames of all spawned processes,
+///   * a deterministic RNG shared by models that need randomness.
+///
+/// Events inserted at equal timestamps run in insertion order (a strictly
+/// increasing sequence number breaks ties, merged across the backend and
+/// the now-FIFO), which keeps runs bit-for-bit reproducible — on every
+/// backend.
+///
+/// The event path is allocation-free in steady state and built for
+/// throughput:
+///   * an event record is a 32-byte POD {time, seq, payload} compared and
+///     moved contiguously — no type erasure on the hot path;
+///   * the overwhelmingly common event is "resume this coroutine"
+///     (sleep_for, SleepService wake-ups, Core job completions, Signal
+///     resumes): the raw handle rides inside the event record itself, with
+///     zero side-table bookkeeping, and same-instant resumes bypass the
+///     backend entirely through a FIFO that is already in execution order;
+///   * callback events (governor ticks, timers, test fixtures) live in a
+///     pooled slot with a small-buffer-optimised callable and a stable
+///     EventId, so pending timers can be *cancelled* instead of being left
+///     to fire as stale no-ops. Callables that are trivially copyable and
+///     fit kInlineCallbackSize bytes never touch the heap allocator.
 #pragma once
 
 #include <cassert>
@@ -35,45 +39,63 @@
 #include <utility>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace metro::sim {
 
-class Simulation {
+/// The discrete-event kernel, templated over the pending-event store.
+///
+/// \tparam Backend an EventQueueBackend (event_queue.hpp). The default
+///   BinaryHeapBackend cancels eagerly in O(log n); LadderQueueBackend
+///   trades that for amortised O(1) scheduling at >10k pending events,
+///   cancelling by tombstone. Both uphold the same observable contract:
+///   identical execution order, stable EventIds, steady-state allocation
+///   freedom.
+template <EventQueueBackend Backend = BinaryHeapBackend>
+class BasicSimulation {
  public:
   /// Stable identifier of a pending *callback* event: {slot generation,
   /// slot index}. Ids are invalidated the moment the event fires or is
   /// cancelled; a stale id can never alias a newer event (the generation
   /// is bumped on every slot reuse). 0 is never a valid id.
   using EventId = std::uint64_t;
+  /// The never-valid EventId.
   static constexpr EventId kInvalidEvent = 0;
 
   /// Callables at most this size (and trivially copyable/destructible) are
   /// stored inline in the pooled slot — no heap traffic.
   static constexpr std::size_t kInlineCallbackSize = 24;
 
-  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+  /// Construct an idle simulation whose RNG is seeded with `seed`.
+  explicit BasicSimulation(std::uint64_t seed = 1) : rng_(seed) {}
 
-  Simulation(const Simulation&) = delete;
-  Simulation& operator=(const Simulation&) = delete;
+  BasicSimulation(const BasicSimulation&) = delete;
+  BasicSimulation& operator=(const BasicSimulation&) = delete;
 
-  ~Simulation() {
+  ~BasicSimulation() {
     // Drop pending events first so no event can refer to a destroyed frame,
     // then destroy all frames (they are suspended, so destroy() is legal).
-    for (const HeapEntry& e : heap_) {
-      if (e.kind == Kind::kCallback) slots_[e.slot].cb.destroy();
-    }
-    heap_.clear();
+    queue_.for_each([this](const EventEntry& e) {
+      if (e.kind == EventKind::kCallback && !ctx().dead(e)) {
+        slots_[e.slot].cb.destroy();
+      }
+    });
+    queue_.clear();
     slots_.clear();
     for (auto h : processes_) {
       if (h) h.destroy();
     }
   }
 
+  /// Current virtual time, ns.
   Time now() const noexcept { return now_; }
+  /// The simulation-owned deterministic RNG.
   Rng& rng() noexcept { return rng_; }
+  /// The event-store backend (observability for tests and benches).
+  const Backend& backend() const noexcept { return queue_; }
 
   /// Schedule a callback at absolute virtual time `t` (>= now()).
   /// Returns an id usable with cancel() while the event is pending.
@@ -81,13 +103,13 @@ class Simulation {
   EventId schedule_at(Time t, F&& fn) {
     const std::uint32_t slot = acquire_slot();
     slots_[slot].cb.emplace(std::forward<F>(fn));
-    HeapEntry e;
+    EventEntry e;
     e.at = t < now_ ? now_ : t;
     e.seq = next_seq_++;
-    e.payload = nullptr;
+    e.payload = encode_generation(slots_[slot].generation);
     e.slot = slot;
-    e.kind = Kind::kCallback;
-    push_entry(e);
+    e.kind = EventKind::kCallback;
+    queue_.push(e, ctx());
     return make_id(slot);
   }
 
@@ -98,31 +120,33 @@ class Simulation {
   }
 
   /// Schedule a coroutine resume at absolute virtual time `t`. This is the
-  /// hot path: the raw handle rides in the heap entry, nothing is erased,
+  /// hot path: the raw handle rides in the event record, nothing is erased,
   /// nothing can be cancelled (no user needs to revoke a bare resume; a
   /// cancellable timer is a callback event). Resumes landing at the
   /// current instant (Signal notifies, spawns, job completions) bypass the
-  /// heap entirely: they run at now() in insertion order, which is exactly
-  /// the now-FIFO — O(1) instead of O(log n).
+  /// backend entirely: they run at now() in insertion order, which is
+  /// exactly the now-FIFO — O(1) instead of a backend insert.
   void schedule_handle_at(Time t, std::coroutine_handle<> h) {
-    HeapEntry e;
+    EventEntry e;
     e.at = t < now_ ? now_ : t;
     e.seq = next_seq_++;
     e.payload = h.address();
     e.slot = 0;
-    e.kind = Kind::kCoroutine;
+    e.kind = EventKind::kCoroutine;
     if (e.at == now_) {
       fifo_.push_back(e);
     } else {
-      push_entry(e);
+      queue_.push(e, ctx());
     }
   }
 
+  /// Schedule a coroutine resume `delay` nanoseconds from now.
   void schedule_handle_after(Time delay, std::coroutine_handle<> h) {
     schedule_handle_at(now_ + (delay < 0 ? 0 : delay), h);
   }
 
-  /// Remove a pending callback event in O(log n). Returns false when the
+  /// Remove a pending callback event (O(log n) positional erase on the
+  /// heap backend, O(1) tombstone on the ladder). Returns false when the
   /// id is stale (already fired, already cancelled, or never valid).
   bool cancel(EventId id) {
     const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
@@ -130,10 +154,13 @@ class Simulation {
     if (id == kInvalidEvent || slot >= slots_.size()) return false;
     CallbackSlot& s = slots_[slot];
     if (s.generation != gen) return false;
-    const std::uint32_t pos = s.heap_pos;
-    assert(pos < heap_.size() && heap_[pos].slot == slot &&
-           heap_[pos].kind == Kind::kCallback);
-    remove_at(pos);
+    if constexpr (Backend::kPositionalCancel) {
+      queue_.erase_at(s.heap_pos, slot, ctx());
+    } else {
+      // Tombstone: the entry stays queued; bumping the slot generation in
+      // release_slot() is what makes ctx().dead() flag it for lazy drop.
+      queue_.on_cancelled();
+    }
     s.cb.destroy();
     release_slot(slot);
     return true;
@@ -162,9 +189,11 @@ class Simulation {
     return now_;
   }
 
-  bool idle() const noexcept { return heap_.empty() && fifo_empty(); }
+  /// True when no live event is pending.
+  bool idle() const noexcept { return queue_.empty() && fifo_empty(); }
+  /// Number of live pending events (backend + now-FIFO).
   std::size_t pending_events() const noexcept {
-    return heap_.size() + (fifo_.size() - fifo_head_);
+    return queue_.size() + (fifo_.size() - fifo_head_);
   }
   /// Total events executed since construction (throughput accounting).
   std::uint64_t events_processed() const noexcept { return processed_; }
@@ -176,7 +205,7 @@ class Simulation {
   /// is modelled separately by SleepService.
   auto sleep_for(Time d) {
     struct Awaiter {
-      Simulation& sim;
+      BasicSimulation& sim;
       Time delay;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
@@ -187,11 +216,10 @@ class Simulation {
     return Awaiter{*this, d};
   }
 
+  /// co_await sim.sleep_until(t): suspend until absolute virtual time `t`.
   auto sleep_until(Time t) { return sleep_for(t - now_); }
 
  private:
-  enum class Kind : std::uint32_t { kCoroutine, kCallback };
-
   /// Type-erased callable with small-buffer optimisation. Trivially
   /// copyable callables up to kInlineCallbackSize live in `storage`
   /// directly; larger or non-trivial ones are heap-allocated and only the
@@ -238,38 +266,33 @@ class Simulation {
     }
   };
 
-  /// 32-byte POD heap entry; comparisons and sift moves stay inside the
-  /// contiguous heap array.
-  struct HeapEntry {
-    Time at;
-    std::uint64_t seq;
-    void* payload;       // kCoroutine: raw coroutine frame address
-    std::uint32_t slot;  // kCallback: index into slots_
-    Kind kind;
-  };
-  static_assert(sizeof(HeapEntry) == 32);
-  static_assert(std::is_trivially_copyable_v<HeapEntry>);
-
   /// Pooled storage for callback events (the cancellable minority).
   struct CallbackSlot {
     SmallCallback cb;            // 40 bytes
     std::uint32_t generation = 1;
-    std::uint32_t heap_pos = 0;  // doubles as the free-list link when free
+    std::uint32_t heap_pos = 0;  // backend position / free-list link
   };
 
-  static bool precedes(const HeapEntry& a, const HeapEntry& b) noexcept {
-    if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
-  }
+  /// The queue context handed to the backend: position tracking for
+  /// eager-cancel backends, liveness queries for tombstoning ones (see the
+  /// contract in event_queue.hpp).
+  struct QueueCtx {
+    BasicSimulation* sim;
+    void moved(std::uint32_t slot, std::uint32_t pos) const noexcept {
+      sim->slots_[slot].heap_pos = pos;
+    }
+    bool dead(const EventEntry& e) const noexcept {
+      return e.kind == EventKind::kCallback &&
+             sim->slots_[e.slot].generation != decode_generation(e.payload);
+    }
+  };
+  QueueCtx ctx() noexcept { return QueueCtx{this}; }
 
-  /// Branch-free (at, seq) comparison. The heap descent picks a child by
-  /// a data-dependent 50/50 choice; as a conditional branch that is a
-  /// mispredict every other level and dominates pop cost, so the pick is
-  /// computed with flag arithmetic instead.
-  static std::uint32_t precedes_u(const HeapEntry& a, const HeapEntry& b) noexcept {
-    return static_cast<std::uint32_t>(
-        static_cast<unsigned>(a.at < b.at) |
-        (static_cast<unsigned>(a.at == b.at) & static_cast<unsigned>(a.seq < b.seq)));
+  static void* encode_generation(std::uint32_t gen) noexcept {
+    return reinterpret_cast<void*>(static_cast<std::uintptr_t>(gen));
+  }
+  static std::uint32_t decode_generation(void* payload) noexcept {
+    return static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(payload));
   }
 
   std::uint32_t acquire_slot() {
@@ -295,76 +318,6 @@ class Simulation {
     return (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
   }
 
-  void place(std::uint32_t pos, const HeapEntry& e) {
-    heap_[pos] = e;
-    if (e.kind == Kind::kCallback) slots_[e.slot].heap_pos = pos;
-  }
-
-  void push_entry(const HeapEntry& e) {
-    heap_.push_back(e);
-    sift_up(static_cast<std::uint32_t>(heap_.size() - 1), e);
-  }
-
-  /// Move `e` up from the hole at `pos` to its final position.
-  void sift_up(std::uint32_t pos, const HeapEntry& e) {
-    while (pos > 0) {
-      const std::uint32_t parent = (pos - 1) / 2;
-      if (!precedes(e, heap_[parent])) break;
-      place(pos, heap_[parent]);
-      pos = parent;
-    }
-    place(pos, e);
-  }
-
-  /// Move `e` down from the hole at `pos` to its final position.
-  void sift_down(std::uint32_t pos, const HeapEntry& e) {
-    const auto n = static_cast<std::uint32_t>(heap_.size());
-    for (;;) {
-      std::uint32_t child = 2 * pos + 1;
-      if (child >= n) break;
-      if (child + 1 < n && precedes(heap_[child + 1], heap_[child])) ++child;
-      if (!precedes(heap_[child], e)) break;
-      place(pos, heap_[child]);
-      pos = child;
-    }
-    place(pos, e);
-  }
-
-  /// Remove the entry at heap position `pos`.
-  void remove_at(std::uint32_t pos) {
-    const HeapEntry last = heap_.back();
-    heap_.pop_back();
-    if (pos == heap_.size()) return;
-    if (pos > 0 && precedes(last, heap_[(pos - 1) / 2])) {
-      sift_up(pos, last);
-    } else {
-      sift_down(pos, last);
-    }
-  }
-
-  /// Remove the minimum (Floyd's optimisation): percolate the hole to the
-  /// bottom choosing the smaller child — one compare per level instead of
-  /// two — then bubble the displaced last element up. In an event queue
-  /// the last element is almost always late, so the bubble-up is O(1).
-  void pop_min() {
-    const HeapEntry last = heap_.back();
-    heap_.pop_back();
-    const auto n = static_cast<std::uint32_t>(heap_.size());
-    if (n == 0) return;
-    std::uint32_t pos = 0;
-    for (;;) {
-      std::uint32_t child = 2 * pos + 1;
-      if (child >= n) break;
-      // Branch-free smaller-child pick; when there is no right child this
-      // compares the left child against itself (false), which is safe.
-      const auto has_right = static_cast<std::uint32_t>(child + 1 < n);
-      child += has_right & precedes_u(heap_[child + has_right], heap_[child]);
-      place(pos, heap_[child]);
-      pos = child;
-    }
-    sift_up(pos, last);
-  }
-
   bool fifo_empty() const noexcept { return fifo_head_ == fifo_.size(); }
 
   void fifo_pop() {
@@ -377,10 +330,10 @@ class Simulation {
     }
   }
 
-  void dispatch(const HeapEntry& top) {
+  void dispatch(const EventEntry& top) {
     now_ = top.at;
     ++processed_;
-    if (top.kind == Kind::kCoroutine) {
+    if (top.kind == EventKind::kCoroutine) {
       const auto h = std::coroutine_handle<>::from_address(top.payload);
       if (!h.done()) h.resume();
     } else {
@@ -396,26 +349,27 @@ class Simulation {
   /// Pop and execute the earliest event with at <= end, false when none.
   bool step_if(Time end) {
     if (fifo_empty()) {
-      if (heap_.empty() || heap_[0].at > end) return false;
-      const HeapEntry top = heap_[0];
-      // Start pulling the coroutine frame in while the heap descent runs;
-      // resume() needs it a few dozen cycles from now.
-      if (top.kind == Kind::kCoroutine) __builtin_prefetch(top.payload);
-      pop_min();
+      if (queue_.empty()) return false;
+      const EventEntry top = queue_.peek(ctx());
+      if (top.at > end) return false;
+      // Start pulling the coroutine frame in while the pop runs; resume()
+      // needs it a few dozen cycles from now.
+      if (top.kind == EventKind::kCoroutine) __builtin_prefetch(top.payload);
+      queue_.pop_min(ctx());
       dispatch(top);
       return true;
     }
     // The FIFO front is its minimum (entries are appended in seq order at
-    // a single instant); merge it with the heap top by (at, seq).
-    if (heap_.empty() || precedes(fifo_[fifo_head_], heap_[0])) {
-      const HeapEntry top = fifo_[fifo_head_];
+    // a single instant); merge it with the backend's minimum by (at, seq).
+    if (queue_.empty() || event_precedes(fifo_[fifo_head_], queue_.peek(ctx()))) {
+      const EventEntry top = fifo_[fifo_head_];
       if (top.at > end) return false;
       fifo_pop();
       dispatch(top);
     } else {
-      const HeapEntry top = heap_[0];
+      const EventEntry top = queue_.peek(ctx());
       if (top.at > end) return false;
-      pop_min();
+      queue_.pop_min(ctx());
       dispatch(top);
     }
     return true;
@@ -427,14 +381,20 @@ class Simulation {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::vector<HeapEntry> heap_;
-  std::vector<HeapEntry> fifo_;  // coroutine resumes at the current instant
+  Backend queue_;
+  std::vector<EventEntry> fifo_;  // coroutine resumes at the current instant
   std::size_t fifo_head_ = 0;
   std::vector<CallbackSlot> slots_;
   std::uint32_t free_head_ = kNilSlot;
   std::vector<std::coroutine_handle<Task::promise_type>> processes_;
   Rng rng_;
 };
+
+/// The default kernel: binary-heap event store (every production layer —
+/// Core, SleepService, Metronome, Port — binds to this type).
+using Simulation = BasicSimulation<BinaryHeapBackend>;
+/// The large-pending-population kernel variant.
+using LadderSimulation = BasicSimulation<LadderQueueBackend>;
 
 /// A one-to-many wake-up signal. Processes co_await the signal (optionally
 /// with a timeout); notify_all() resumes every waiter at the current
@@ -447,20 +407,24 @@ class Simulation {
 /// cancellable kernel timer; notification cancels the timer (and vice
 /// versa the timer detaches the waiter), so notify racing timeout can
 /// never double-resume.
-class Signal {
+///
+/// \tparam Sim the owning kernel instantiation (any backend).
+template <typename Sim = Simulation>
+class BasicSignal {
  public:
-  explicit Signal(Simulation& sim) : sim_(sim) {}
+  /// Bind the signal to its owning simulation.
+  explicit BasicSignal(Sim& sim) : sim_(sim) {}
 
-  Signal(const Signal&) = delete;
-  Signal& operator=(const Signal&) = delete;
+  BasicSignal(const BasicSignal&) = delete;
+  BasicSignal& operator=(const BasicSignal&) = delete;
 
   /// Cancel every armed timeout on destruction: the timer callbacks hold a
   /// raw pointer back to this Signal and must never fire after it is gone.
   /// Still-queued waiters simply never resume; their frames are reclaimed
   /// by the owning Simulation.
-  ~Signal() {
+  ~BasicSignal() {
     for (std::uint32_t i = head_; i != kNil; i = pool_[i].next) {
-      if (pool_[i].timeout_event != Simulation::kInvalidEvent) {
+      if (pool_[i].timeout_event != Sim::kInvalidEvent) {
         sim_.cancel(pool_[i].timeout_event);
       }
     }
@@ -484,15 +448,16 @@ class Signal {
       t.next = t.prev = kNil;
       t.waiting = false;
       t.notified = true;
-      if (t.timeout_event != Simulation::kInvalidEvent) {
+      if (t.timeout_event != Sim::kInvalidEvent) {
         sim_.cancel(t.timeout_event);
-        t.timeout_event = Simulation::kInvalidEvent;
+        t.timeout_event = Sim::kInvalidEvent;
       }
       sim_.schedule_handle_after(0, t.handle);
       i = next;
     }
   }
 
+  /// True while at least one process is blocked on the signal.
   bool has_waiters() const noexcept { return head_ != kNil; }
 
  private:
@@ -500,7 +465,7 @@ class Signal {
 
   struct Token {
     std::coroutine_handle<> handle;
-    Simulation::EventId timeout_event = Simulation::kInvalidEvent;
+    typename Sim::EventId timeout_event = Sim::kInvalidEvent;
     std::uint32_t next = kNil;
     std::uint32_t prev = kNil;
     std::uint32_t generation = 0;
@@ -510,7 +475,7 @@ class Signal {
 
   /// Fired by the kernel when a timed wait expires un-notified.
   struct TimeoutFire {
-    Signal* sig;
+    BasicSignal* sig;
     std::uint32_t token;
     std::uint32_t generation;
     void operator()() const {
@@ -519,13 +484,13 @@ class Signal {
       sig->detach(token);
       t.waiting = false;
       t.notified = false;
-      t.timeout_event = Simulation::kInvalidEvent;
+      t.timeout_event = Sim::kInvalidEvent;
       if (!t.handle.done()) t.handle.resume();
     }
   };
 
   struct WaitAwaiter {
-    Signal& sig;
+    BasicSignal& sig;
     Time timeout;  // < 0: wait forever
     std::uint32_t token;
 
@@ -598,11 +563,14 @@ class Signal {
     t.next = t.prev = kNil;
   }
 
-  Simulation& sim_;
+  Sim& sim_;
   std::vector<Token> pool_;
   std::uint32_t head_ = kNil;
   std::uint32_t tail_ = kNil;
   std::uint32_t free_head_ = kNil;
 };
+
+/// The default signal, bound to the default kernel.
+using Signal = BasicSignal<Simulation>;
 
 }  // namespace metro::sim

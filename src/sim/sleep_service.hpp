@@ -1,4 +1,5 @@
-// Fine-grain thread sleep services (paper §III-A).
+/// \file sleep_service.hpp
+/// Fine-grain thread sleep services (paper §III-A).
 //
 // The paper relies on microsecond-precision sleeps and compares two
 // services: Linux `nanosleep()` (subject to the per-thread timer slack,
@@ -33,9 +34,15 @@
 
 namespace metro::sim {
 
-enum class SleepKind { kHrSleep, kNanosleep };
+/// Which OS sleep primitive the service models.
+enum class SleepKind {
+  kHrSleep,   ///< the paper's hr_sleep() kernel service (no timer slack)
+  kNanosleep  ///< Linux nanosleep(), subject to per-thread timer slack
+};
 
+/// Tunables of the modelled sleep service.
 struct SleepServiceConfig {
+  /// The modelled primitive (hr_sleep by default).
   SleepKind kind = SleepKind::kHrSleep;
   /// Timer slack (nanosleep only). 1 us = prctl(PR_SET_TIMERSLACK, 1);
   /// kDefaultTimerSlack models an unconfigured thread.
@@ -47,6 +54,11 @@ struct SleepServiceConfig {
   bool dispatch_tail = true;
 };
 
+/// Calibrated model of a microsecond-precision OS sleep: the awaitable
+/// sleep() wakes the calling process after requested + overhead +
+/// slack + dispatch virtual nanoseconds (see the file comment for the
+/// model). One instance per simulated thread; all randomness is drawn
+/// from the owning Simulation's RNG, so runs stay deterministic.
 class SleepService {
  public:
   /// `core`, when given, is consulted at wake time for contention-dependent

@@ -4,9 +4,21 @@
 // counters, drop counters, event counts and final clocks — equal-timestamp
 // events run in insertion order, the RNG is owned by the Simulation, and
 // nothing on the event path depends on host state.
+//
+// The same guarantee holds *across event-queue backends*: the binary heap
+// and the ladder queue implement the same total (at, seq) order, so an
+// identical script must produce a bit-identical execution trace on both.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
 #include "apps/experiment.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
 namespace metro::apps {
@@ -69,6 +81,87 @@ TEST(DeterminismTest, StaticPollingRunsAreBitIdentical) {
   const auto b = run_scenario(cfg);
   EXPECT_GT(a.processed, 100000u);
   EXPECT_EQ(a, b);
+}
+
+// One record per executed event: (virtual time, tag, kernel RNG draw).
+// Including an RNG draw makes the trace sensitive to *any* reordering —
+// two swapped handlers would consume each other's random numbers.
+using TraceRecord = std::tuple<sim::Time, int, std::uint64_t>;
+
+template <typename Backend>
+std::vector<TraceRecord> kernel_trace() {
+  sim::BasicSimulation<Backend> kernel(1234);
+  sim::BasicSignal<sim::BasicSimulation<Backend>> sig(kernel);
+  std::vector<TraceRecord> trace;
+  const auto record = [&](int tag) {
+    trace.emplace_back(kernel.now(), tag, kernel.rng().uniform_u64(1u << 30));
+  };
+
+  // Mixed workload: equal-timestamp callback floods, coroutine sleeps,
+  // timed signal waits raced by notifies, and mid-run cancellations.
+  struct Tick {
+    sim::BasicSimulation<Backend>* kernel;
+    const std::function<void(int)>* record;
+    int left;
+    int tag;
+    void operator()() const {
+      (*record)(tag);
+      if (left > 0) {
+        kernel->schedule_after(700 + (tag % 5) * 100, Tick{kernel, record, left - 1, tag});
+      }
+    }
+  };
+  const std::function<void(int)> recorder = record;
+  for (int i = 0; i < 40; ++i) {
+    kernel.schedule_at(100, Tick{&kernel, &recorder, 50, i});  // same instant
+  }
+  struct Proc {
+    static sim::Task sleeper(sim::BasicSimulation<Backend>& kernel,
+                             const std::function<void(int)>& record, int tag) {
+      for (int i = 0; i < 200; ++i) {
+        co_await kernel.sleep_for(900 + (tag % 7) * 150);
+        record(10000 + tag);
+      }
+    }
+    static sim::Task waiter(sim::BasicSimulation<Backend>& kernel,
+                            sim::BasicSignal<sim::BasicSimulation<Backend>>& sig,
+                            const std::function<void(int)>& record, int tag) {
+      for (int i = 0; i < 150; ++i) {
+        const bool notified = co_await sig.wait_for(3'000);
+        record(20000 + tag + (notified ? 0 : 500));
+        (void)kernel;
+      }
+    }
+    static sim::Task notifier(sim::BasicSimulation<Backend>& kernel,
+                              sim::BasicSignal<sim::BasicSimulation<Backend>>& sig) {
+      for (int i = 0; i < 120; ++i) {
+        co_await kernel.sleep_for(2'500);
+        sig.notify_all();
+      }
+    }
+  };
+  for (int i = 0; i < 8; ++i) kernel.spawn(Proc::sleeper(kernel, recorder, i));
+  for (int i = 0; i < 6; ++i) kernel.spawn(Proc::waiter(kernel, sig, recorder, i));
+  kernel.spawn(Proc::notifier(kernel, sig));
+  // Cancellation pressure: arm timers and cancel most of them mid-run.
+  std::vector<typename sim::BasicSimulation<Backend>::EventId> armed;
+  for (int i = 0; i < 300; ++i) {
+    armed.push_back(
+        kernel.schedule_at(5'000 + i * 37, [&record, i] { record(30000 + i); }));
+  }
+  kernel.schedule_at(4'999, [&] {
+    for (std::size_t i = 0; i < armed.size(); i += 3) kernel.cancel(armed[i]);
+  });
+  kernel.run();
+  EXPECT_TRUE(kernel.idle());
+  return trace;
+}
+
+TEST(DeterminismTest, BackendsProduceBitIdenticalTraces) {
+  const auto heap = kernel_trace<sim::BinaryHeapBackend>();
+  const auto ladder = kernel_trace<sim::LadderQueueBackend>();
+  EXPECT_GT(heap.size(), 4000u) << "trace must cover real work";
+  EXPECT_EQ(heap, ladder);
 }
 
 TEST(DeterminismTest, DifferentSeedsDiverge) {
