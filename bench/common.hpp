@@ -8,17 +8,23 @@
 // Common CLI flags:
 //   --fast                shrink the measurement windows (CI smoke mode)
 //   --backend=heap|ladder|both
-//                         which event-queue backend(s) a kernel-level
-//                         bench drives (default: both). Figure benches run
-//                         the full app stack, which binds to the default
-//                         heap backend, and ignore this flag.
+//                         which event-queue backend(s) the bench drives.
+//                         The full app stack is generic over the backend,
+//                         so the figure benches honour this flag too:
+//                         kernel_throughput and fig13/14 default to both
+//                         (fig13 cross-checks that the backends produce
+//                         identical packet counters); the remaining
+//                         figure benches default to heap, the traditional
+//                         figure-generation path.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <type_traits>
 
 #include "apps/experiment.hpp"
 #include "stats/table.hpp"
@@ -32,10 +38,11 @@ inline bool fast_mode(int argc, char** argv) {
   return false;
 }
 
-/// Event-queue backend selection for kernel-level benches.
+/// Event-queue backend selection.
 enum class BackendChoice { kHeap, kLadder, kBoth };
 
-inline BackendChoice backend_choice(int argc, char** argv) {
+inline BackendChoice backend_choice(int argc, char** argv,
+                                    BackendChoice def = BackendChoice::kBoth) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       const char* v = argv[i] + 10;
@@ -48,11 +55,63 @@ inline BackendChoice backend_choice(int argc, char** argv) {
       std::exit(2);
     }
   }
-  return BackendChoice::kBoth;
+  return def;
 }
 
 inline bool use_heap(BackendChoice c) { return c != BackendChoice::kLadder; }
 inline bool use_ladder(BackendChoice c) { return c != BackendChoice::kHeap; }
+
+/// Invoke `fn(std::type_identity<Sim>{}, "name")` for every enabled
+/// backend's kernel instantiation — the runtime->compile-time dispatch the
+/// backend-generic figure benches share.
+template <typename Fn>
+inline void for_each_backend(BackendChoice c, Fn&& fn) {
+  if (use_heap(c)) fn(std::type_identity<metro::sim::Simulation>{}, "heap");
+  if (use_ladder(c)) fn(std::type_identity<metro::sim::LadderSimulation>{}, "ladder");
+}
+
+/// Full-run packet counters (warmup + measurement): the cross-backend
+/// identity fingerprint. Defined once here so every backend-generic bench
+/// checks the same counter set; the tier-1 test
+/// (tests/test_backend_fullstack.cpp) deliberately keeps its own, deeper
+/// fingerprint (histogram bins included) so a bench bug cannot mask a
+/// test bug.
+struct RunCounters {
+  std::uint64_t rx = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t processed = 0;
+  bool operator==(const RunCounters&) const = default;
+};
+
+/// One Testbed run (assemble, warm up, measure, harvest) with the
+/// observables the backend-generic benches report.
+struct CountedRun {
+  apps::ExperimentResult result;
+  RunCounters counters;
+  std::uint64_t events = 0;            ///< kernel events over the whole run
+  std::size_t pending_at_measure = 0;  ///< pending events at measurement start
+  double wall_seconds = 0.0;
+};
+
+template <typename Sim>
+CountedRun run_counted(const apps::ExperimentConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  apps::BasicTestbed<Sim> bed(cfg);
+  bed.start();
+  bed.run_until(cfg.warmup);
+  bed.begin_measurement();
+  CountedRun out;
+  out.pending_at_measure = bed.sim().pending_events();
+  bed.run_until(cfg.warmup + cfg.measure);
+  out.result = bed.finish_measurement();
+  out.counters = RunCounters{bed.port().total_rx(), bed.port().total_dropped(),
+                             bed.port().tx().total_transmitted(), bed.packets_processed()};
+  out.events = bed.sim().events_processed();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return out;
+}
 
 inline void header(const std::string& title, const std::string& paper_expectation) {
   std::cout << "=== " << title << " ===\n";

@@ -2,12 +2,24 @@
 // the number of Metronome threads, for 2/3/4 Rx queues under both
 // governors, plus busy tries and rho (Fig. 14). Static DPDK (one polling
 // core per queue) is the reference line.
+//
+// The full app stack is generic over the event-queue backend, so the bench
+// takes --backend=heap|ladder|both (default both). With both enabled every
+// configuration runs on each backend and the bench *fails* (exit 1) if any
+// run's packet counters diverge — the two backends must produce the same
+// execution, only at different simulation speed. Per-configuration wall
+// time is reported so the ladder's full-stack advantage is visible here
+// too (the tracked number lives in BENCH_kernel.json's fig13_fullstack).
+#include <map>
+
 #include "common.hpp"
 
 using namespace metro;
+using bench::RunCounters;
 
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
+  const auto choice = bench::backend_choice(argc, argv);
   const auto w = bench::windows(fast);
 
   bench::header("Figures 13+14 - multiqueue CPU/power and busy-tries/rho",
@@ -15,50 +27,97 @@ int main(int argc, char** argv) {
                 "CPU. More queues -> lower per-queue rho, fewer busy tries, larger "
                 "CPU and power gains. ondemand trades extra CPU time for power");
 
-  for (const auto governor : {sim::Governor::kPerformance, sim::Governor::kOndemand}) {
-    const char* gov_name = governor == sim::Governor::kPerformance ? "performance" : "ondemand";
-    for (const int queues : {2, 3, 4}) {
-      // Static DPDK reference: one full core per queue.
-      apps::ExperimentConfig ref;
-      ref.driver = apps::DriverKind::kStaticPolling;
-      ref.xl710 = true;
-      ref.n_queues = queues;
-      ref.n_cores = queues;
-      ref.governor = governor;
-      ref.workload.rate_mpps = 37.0;
-      ref.workload.n_flows = 4096;
-      ref.warmup = w.warmup;
-      ref.measure = w.measure;
-      const auto rstat = apps::run_experiment(ref);
+  // configuration key -> counters per backend, for the divergence check.
+  std::map<std::string, std::vector<std::pair<std::string, RunCounters>>> fingerprints;
+  std::map<std::string, double> wall_by_backend;
 
-      std::cout << gov_name << ", " << queues << " queues — static DPDK reference: CPU "
-                << bench::num(rstat.cpu_percent, 0) << "%, power "
-                << bench::num(rstat.package_watts, 1) << " W, throughput "
-                << bench::num(rstat.throughput_mpps, 1) << " Mpps\n";
+  bench::for_each_backend(choice, [&](auto tag, const std::string& backend) {
+    using Sim = typename decltype(tag)::type;
+    std::cout << "--- backend: " << backend << " ---\n\n";
 
-      stats::Table table({"M (cores)", "CPU (%)", "power (W)", "busy tries (%)", "rho",
-                          "throughput (Mpps)"});
-      for (int m = queues; m <= 8; ++m) {
-        apps::ExperimentConfig cfg;
-        cfg.driver = apps::DriverKind::kMetronome;
-        cfg.xl710 = true;
-        cfg.n_queues = queues;
-        cfg.n_cores = m;
-        cfg.governor = governor;
-        cfg.met.n_threads = m;
-        cfg.met.target_vacation = 15 * sim::kMicrosecond;
-        cfg.workload.rate_mpps = 37.0;
-        cfg.workload.n_flows = 4096;
-        cfg.warmup = w.warmup;
-        cfg.measure = w.measure;
-        const auto r = apps::run_experiment(cfg);
-        table.add_row({bench::num(m, 0), bench::num(r.cpu_percent, 1),
-                       bench::num(r.package_watts, 2), bench::num(r.busy_tries_pct, 1),
-                       bench::num(r.rho, 3), bench::num(r.throughput_mpps, 1)});
+    for (const auto governor : {sim::Governor::kPerformance, sim::Governor::kOndemand}) {
+      const char* gov_name = governor == sim::Governor::kPerformance ? "performance" : "ondemand";
+      for (const int queues : {2, 3, 4}) {
+        // Static DPDK reference: one full core per queue.
+        apps::ExperimentConfig ref;
+        ref.driver = apps::DriverKind::kStaticPolling;
+        ref.xl710 = true;
+        ref.n_queues = queues;
+        ref.n_cores = queues;
+        ref.governor = governor;
+        ref.workload.rate_mpps = 37.0;
+        ref.workload.n_flows = 4096;
+        ref.warmup = w.warmup;
+        ref.measure = w.measure;
+        const auto rout = bench::run_counted<Sim>(ref);
+        const std::string ref_key =
+            std::string("static/") + gov_name + "/" + std::to_string(queues) + "q";
+        fingerprints[ref_key].emplace_back(backend, rout.counters);
+        wall_by_backend[backend] += rout.wall_seconds;
+
+        std::cout << gov_name << ", " << queues << " queues — static DPDK reference: CPU "
+                  << bench::num(rout.result.cpu_percent, 0) << "%, power "
+                  << bench::num(rout.result.package_watts, 1) << " W, throughput "
+                  << bench::num(rout.result.throughput_mpps, 1) << " Mpps\n";
+
+        stats::Table table({"M (cores)", "CPU (%)", "power (W)", "busy tries (%)", "rho",
+                            "throughput (Mpps)"});
+        for (int m = queues; m <= 8; ++m) {
+          apps::ExperimentConfig cfg;
+          cfg.driver = apps::DriverKind::kMetronome;
+          cfg.xl710 = true;
+          cfg.n_queues = queues;
+          cfg.n_cores = m;
+          cfg.governor = governor;
+          cfg.met.n_threads = m;
+          cfg.met.target_vacation = 15 * sim::kMicrosecond;
+          cfg.workload.rate_mpps = 37.0;
+          cfg.workload.n_flows = 4096;
+          cfg.warmup = w.warmup;
+          cfg.measure = w.measure;
+          const auto out = bench::run_counted<Sim>(cfg);
+          const std::string key = std::string("metronome/") + gov_name + "/" +
+                                  std::to_string(queues) + "q/m" + std::to_string(m);
+          fingerprints[key].emplace_back(backend, out.counters);
+          wall_by_backend[backend] += out.wall_seconds;
+          const auto& r = out.result;
+          table.add_row({bench::num(m, 0), bench::num(r.cpu_percent, 1),
+                         bench::num(r.package_watts, 2), bench::num(r.busy_tries_pct, 1),
+                         bench::num(r.rho, 3), bench::num(r.throughput_mpps, 1)});
+        }
+        table.print();
+        std::cout << "\n";
       }
-      table.print();
-      std::cout << "\n";
     }
+  });
+
+  for (const auto& [backend, wall] : wall_by_backend) {
+    std::cout << "total simulation wall time, " << backend << ": " << bench::num(wall, 2)
+              << " s\n";
+  }
+
+  // Cross-backend identity: every configuration must have produced the
+  // exact same packet counters on every backend that ran it.
+  bool diverged = false;
+  for (const auto& [key, runs] : fingerprints) {
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      if (!(runs[i].second == runs[0].second)) {
+        diverged = true;
+        std::cerr << "BACKEND DIVERGENCE at " << key << ": " << runs[0].first << " (rx "
+                  << runs[0].second.rx << ", tx " << runs[0].second.tx << ", drop "
+                  << runs[0].second.dropped << ") vs " << runs[i].first << " (rx "
+                  << runs[i].second.rx << ", tx " << runs[i].second.tx << ", drop "
+                  << runs[i].second.dropped << ")\n";
+      }
+    }
+  }
+  if (diverged) {
+    std::cerr << "\nFAIL: event-queue backends must produce bit-identical executions\n";
+    return 1;
+  }
+  if (bench::use_heap(choice) && bench::use_ladder(choice)) {
+    std::cout << "cross-backend check: all " << fingerprints.size()
+              << " configurations produced identical rx/tx/drop counters on both backends\n";
   }
   return 0;
 }

@@ -1,37 +1,49 @@
 // Figure 15: multi-queue CPU and power under different loads (XL710,
 // 4 Rx queues, M = 5, V-bar = 15 us, performance governor).
+//
+// Backend-generic: --backend=heap|ladder|both selects the event-queue
+// backend(s) the stack runs on (default heap, the traditional
+// figure-generation path; results are bit-identical across backends, only
+// the simulation speed differs).
 #include "common.hpp"
 
 using namespace metro;
 
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
+  const auto choice = bench::backend_choice(argc, argv, bench::BackendChoice::kHeap);
   const auto w = bench::windows(fast);
 
   bench::header("Figure 15 - multiqueue scaling to the actual traffic",
                 "Metronome saves >half of static DPDK's CPU at 37 Mpps line rate, "
                 "more at lower rates, and ~2-3 W of package power throughout");
 
-  stats::Table table({"rate (Mpps)", "driver", "CPU (%)", "power (W)", "throughput (Mpps)"});
-  for (const double mpps : {37.0, 30.0, 20.0, 15.0, 10.0, 0.0}) {
-    for (const bool metronome : {false, true}) {
-      apps::ExperimentConfig cfg;
-      cfg.driver = metronome ? apps::DriverKind::kMetronome : apps::DriverKind::kStaticPolling;
-      cfg.xl710 = true;
-      cfg.n_queues = 4;
-      cfg.n_cores = metronome ? 5 : 4;
-      cfg.met.n_threads = 5;
-      cfg.met.target_vacation = 15 * sim::kMicrosecond;
-      cfg.workload.rate_mpps = mpps;
-      cfg.workload.n_flows = 4096;
-      cfg.warmup = w.warmup;
-      cfg.measure = w.measure;
-      const auto r = apps::run_experiment(cfg);
-      table.add_row({bench::num(mpps, 0), metronome ? "Metronome" : "static DPDK",
-                     bench::num(r.cpu_percent, 1), bench::num(r.package_watts, 2),
-                     bench::num(r.throughput_mpps, 1)});
+  bench::for_each_backend(choice, [&](auto tag, const std::string& backend) {
+    using Sim = typename decltype(tag)::type;
+    if (choice == bench::BackendChoice::kBoth) {
+      std::cout << "--- backend: " << backend << " ---\n";
     }
-  }
-  table.print();
+    stats::Table table({"rate (Mpps)", "driver", "CPU (%)", "power (W)", "throughput (Mpps)"});
+    for (const double mpps : {37.0, 30.0, 20.0, 15.0, 10.0, 0.0}) {
+      for (const bool metronome : {false, true}) {
+        apps::ExperimentConfig cfg;
+        cfg.driver = metronome ? apps::DriverKind::kMetronome : apps::DriverKind::kStaticPolling;
+        cfg.xl710 = true;
+        cfg.n_queues = 4;
+        cfg.n_cores = metronome ? 5 : 4;
+        cfg.met.n_threads = 5;
+        cfg.met.target_vacation = 15 * sim::kMicrosecond;
+        cfg.workload.rate_mpps = mpps;
+        cfg.workload.n_flows = 4096;
+        cfg.warmup = w.warmup;
+        cfg.measure = w.measure;
+        const auto r = apps::run_experiment<Sim>(cfg);
+        table.add_row({bench::num(mpps, 0), metronome ? "Metronome" : "static DPDK",
+                       bench::num(r.cpu_percent, 1), bench::num(r.package_watts, 2),
+                       bench::num(r.throughput_mpps, 1)});
+      }
+    }
+    table.print();
+  });
   return 0;
 }

@@ -1,12 +1,17 @@
 // Figure 16: CPU usage of the two other ported applications — the IPsec
 // security gateway and the FloWatcher traffic monitor — static polling vs
 // Metronome, single Rx queue.
+//
+// Backend-generic: --backend=heap|ladder|both selects the event-queue
+// backend(s) the stack runs on (default heap; results are bit-identical
+// across backends, only the simulation speed differs).
 #include "common.hpp"
 
 using namespace metro;
 
 namespace {
 
+template <typename Sim>
 void run_app(const char* name, sim::Time per_packet_cost, const std::vector<double>& rates,
              const bench::Windows& w) {
   stats::Table table({"rate (Mpps)", "driver", "CPU (%)", "throughput (Mpps)"});
@@ -20,7 +25,7 @@ void run_app(const char* name, sim::Time per_packet_cost, const std::vector<doub
       cfg.workload.rate_mpps = mpps;
       cfg.warmup = w.warmup;
       cfg.measure = w.measure;
-      const auto r = apps::run_experiment(cfg);
+      const auto r = apps::run_experiment<Sim>(cfg);
       table.add_row({bench::num(mpps, 2), metronome ? "Metronome" : "static DPDK",
                      bench::num(r.cpu_percent, 1), bench::num(r.throughput_mpps, 2)});
     }
@@ -34,6 +39,7 @@ void run_app(const char* name, sim::Time per_packet_cost, const std::vector<doub
 
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
+  const auto choice = bench::backend_choice(argc, argv, bench::BackendChoice::kHeap);
   const auto w = bench::windows(fast);
 
   bench::header("Figure 16 - IPsec gateway and FloWatcher CPU usage",
@@ -41,9 +47,15 @@ int main(int argc, char** argv) {
                 "releases the lock there -> ~100% CPU); Metronome wins as rate drops. "
                 "FloWatcher: ~50% CPU gain at line rate, ~5x at 0.5 Mpps");
 
-  run_app("IPsec Security Gateway (AES-CBC 128 ESP tunnel)", sim::calib::kIpsecPerPacketCost,
-          {5.61, 3.0, 1.0, 0.5, 0.1}, w);
-  run_app("FloWatcher-DPDK (run-to-completion flow monitor)",
-          sim::calib::kFlowatcherPerPacketCost, {14.88, 10.0, 5.0, 1.0, 0.5}, w);
+  bench::for_each_backend(choice, [&](auto tag, const std::string& backend) {
+    using Sim = typename decltype(tag)::type;
+    if (choice == bench::BackendChoice::kBoth) {
+      std::cout << "--- backend: " << backend << " ---\n\n";
+    }
+    run_app<Sim>("IPsec Security Gateway (AES-CBC 128 ESP tunnel)",
+                 sim::calib::kIpsecPerPacketCost, {5.61, 3.0, 1.0, 0.5, 0.1}, w);
+    run_app<Sim>("FloWatcher-DPDK (run-to-completion flow monitor)",
+                 sim::calib::kFlowatcherPerPacketCost, {14.88, 10.0, 5.0, 1.0, 0.5}, w);
+  });
   return 0;
 }

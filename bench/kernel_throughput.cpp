@@ -29,9 +29,19 @@
 //                        >10k concurrently pending flow timers plus
 //                        metronome-style timed waits. This is the regime
 //                        the ladder queue exists for.
-// Plus a fig13-style multiqueue Metronome scenario on the full app stack
-// (heap backend — the stack binds to the default kernel), reporting
-// simulated-packets/sec and wall time.
+// Plus two fig13-style multiqueue Metronome scenarios on the full app
+// stack (the stack is generic over the backend since the BasicX<Sim>
+// refactor):
+//   * fig13_multiqueue  — the original grouped-feeder scenario on the heap
+//     backend, kept exactly as-is so the simulated-packets/sec trajectory
+//     stays comparable PR over PR;
+//   * fig13_fullstack   — the same testbed with *per-flow traffic sources*
+//     (one arrival process per flow, >24k concurrently pending flow
+//     timers: the population a per-flow-timed fig13 setup implies and the
+//     regime the ladder queue exists for), run on every enabled backend.
+//     Both backends must produce identical packet counters; the JSON
+//     tracks each backend's simulated-packets-per-second and the ladder's
+//     full-stack speedup.
 #include <array>
 #include <chrono>
 #include <cmath>
@@ -344,6 +354,54 @@ struct ScenarioResult {
   }
 };
 
+// --- fig13 full-stack scenarios -------------------------------------------
+
+// The fig13 multiqueue testbed: XL710, 2 queues, 4 Metronome threads,
+// 37 Mpps offered.
+metro::apps::ExperimentConfig fig13_config(bool fast) {
+  metro::apps::ExperimentConfig cfg;
+  cfg.driver = metro::apps::DriverKind::kMetronome;
+  cfg.xl710 = true;
+  cfg.n_queues = 2;
+  cfg.n_cores = 4;
+  cfg.met.n_threads = 4;
+  cfg.met.target_vacation = 15 * metro::sim::kMicrosecond;
+  cfg.workload.rate_mpps = 37.0;
+  cfg.workload.n_flows = 4096;
+  cfg.warmup = 50 * metro::sim::kMillisecond;
+  cfg.measure = (fast ? 100 : 400) * metro::sim::kMillisecond;
+  return cfg;
+}
+
+// Per-flow-source population for fig13_fullstack: >24k pending flow timers.
+constexpr std::size_t kFullstackFlows = 24576;
+
+struct FullstackRun {
+  double wall = 0.0;
+  double pps = 0.0;   // simulated packets / wall second
+  double eps = 0.0;   // kernel events / wall second
+  double throughput_mpps = 0.0;
+  // Cross-backend identity fingerprint — the same counter set
+  // bench_fig13_14_multiqueue checks (bench/common.hpp RunCounters).
+  metro::bench::RunCounters counters;
+  std::size_t pending = 0;  // pending events at measurement start
+  bool ran = false;
+};
+
+template <typename Sim>
+FullstackRun run_fullstack(const metro::apps::ExperimentConfig& cfg) {
+  const auto run = metro::bench::run_counted<Sim>(cfg);
+  FullstackRun out;
+  out.wall = run.wall_seconds;
+  out.pps = static_cast<double>(run.counters.processed) / out.wall;
+  out.eps = static_cast<double>(run.events) / out.wall;
+  out.throughput_mpps = run.result.throughput_mpps;
+  out.counters = run.counters;
+  out.pending = run.pending_at_measure;
+  out.ran = true;
+  return out;
+}
+
 void emit_backend_run(std::ofstream& json, const char* key, const ScenarioResult& r,
                       const Run& run, bool last) {
   json << "      \"" << key << "\": {\"events_per_sec\": " << r.eps(run)
@@ -451,21 +509,10 @@ int main(int argc, char** argv) {
           ? geomean3(timer.eps(timer.ladder), sleep.eps(sleep.ladder), signal.eps(signal.ladder))
           : 0.0;
 
-  // Fig. 13-style multiqueue Metronome scenario on the full app stack:
-  // XL710, 2 queues, 4 threads, 37 Mpps offered — end-to-end
-  // simulated-packet rate. The stack binds to the default (heap) kernel.
-  metro::apps::ExperimentConfig cfg;
-  cfg.driver = metro::apps::DriverKind::kMetronome;
-  cfg.xl710 = true;
-  cfg.n_queues = 2;
-  cfg.n_cores = 4;
-  cfg.met.n_threads = 4;
-  cfg.met.target_vacation = 15 * metro::sim::kMicrosecond;
-  cfg.workload.rate_mpps = 37.0;
-  cfg.workload.n_flows = 4096;
-  cfg.warmup = 50 * metro::sim::kMillisecond;
-  cfg.measure = (fast ? 100 : 400) * metro::sim::kMillisecond;
-
+  // Fig. 13-style multiqueue Metronome scenario on the full app stack,
+  // grouped feeder, heap backend — kept as the PR-over-PR trajectory
+  // number (same scenario as before the stack went backend-generic).
+  const auto cfg = fig13_config(fast);
   const auto t0 = std::chrono::steady_clock::now();
   metro::apps::Testbed bed(cfg);
   bed.start();
@@ -477,6 +524,28 @@ int main(int argc, char** argv) {
   const double fig13_pkts = static_cast<double>(bed.packets_processed());
   const double fig13_eps = static_cast<double>(bed.sim().events_processed()) / fig13_wall;
   const double fig13_pps = fig13_pkts / fig13_wall;
+
+  // fig13_fullstack: the same testbed with one arrival process per flow —
+  // kFullstackFlows concurrently pending timers — on every enabled
+  // backend. The tracked number: per-backend simulated packets/sec.
+  auto fs_cfg = fig13_config(fast);
+  fs_cfg.workload.n_flows = kFullstackFlows;
+  fs_cfg.workload.per_flow_sources = true;
+  fs_cfg.workload.poisson = true;  // exponential per-flow gaps
+  fs_cfg.warmup = 20 * metro::sim::kMillisecond;
+  fs_cfg.measure = (fast ? 60 : 200) * metro::sim::kMillisecond;
+  FullstackRun fs_heap, fs_ladder;
+  if (heap_on) fs_heap = run_fullstack<BasicSimulation<BinaryHeapBackend>>(fs_cfg);
+  if (ladder_on) fs_ladder = run_fullstack<BasicSimulation<LadderQueueBackend>>(fs_cfg);
+  bool fullstack_diverged = false;
+  if (fs_heap.ran && fs_ladder.ran && !(fs_heap.counters == fs_ladder.counters)) {
+    fullstack_diverged = true;
+    const auto& h = fs_heap.counters;
+    const auto& l = fs_ladder.counters;
+    std::cerr << "BACKEND DIVERGENCE in fig13_fullstack: heap rx/drop/tx/processed " << h.rx
+              << "/" << h.dropped << "/" << h.tx << "/" << h.processed << " vs ladder " << l.rx
+              << "/" << l.dropped << "/" << l.tx << "/" << l.processed << "\n";
+  }
 
   const auto row = [&](const char* name, const ScenarioResult& r) {
     std::cout << "  " << name << ": legacy " << metro::bench::num(r.baseline_eps() / 1e6)
@@ -512,11 +581,27 @@ int main(int argc, char** argv) {
               << metro::bench::num(fig13k.heap.wall / fig13k.ladder.wall) << " wall ("
               << kFig13Flows << "+ pending events)\n";
   }
-  std::cout << "\n  fig13 multiqueue (full stack, heap): "
+  std::cout << "\n  fig13 multiqueue (full stack, grouped feeder, heap): "
             << metro::bench::num(fig13_pps / 1e6) << " M simulated packets/s, "
             << metro::bench::num(fig13_eps / 1e6) << " M events/s, wall "
             << metro::bench::num(fig13_wall) << " s, throughput "
             << metro::bench::num(result.throughput_mpps, 1) << " Mpps simulated\n";
+
+  const auto fs_row = [](const char* name, const FullstackRun& r) {
+    if (!r.ran) return;
+    std::cout << "  fig13 fullstack (" << kFullstackFlows << " per-flow sources, " << name
+              << "): " << metro::bench::num(r.pps / 1e6) << " M simulated packets/s, "
+              << metro::bench::num(r.eps / 1e6) << " M events/s, wall "
+              << metro::bench::num(r.wall) << " s, " << r.pending << " pending events\n";
+  };
+  fs_row("heap", fs_heap);
+  fs_row("ladder", fs_ladder);
+  if (fs_heap.ran && fs_ladder.ran) {
+    std::cout << "  fig13 fullstack, ladder vs heap: x"
+              << metro::bench::num(fs_heap.wall / fs_ladder.wall) << " wall"
+              << (fullstack_diverged ? "  [COUNTERS DIVERGED]" : "  (identical counters)")
+              << "\n";
+  }
 
   std::ofstream json("BENCH_kernel.json");
   json << "{\n"
@@ -555,11 +640,31 @@ int main(int argc, char** argv) {
     json << "  \"fig13_kernel_ladder_vs_heap_speedup\": "
          << fig13k.heap.wall / fig13k.ladder.wall << ",\n";
   }
-  json << "  \"fig13_multiqueue\": {\"backend\": \"heap\", \"simulated_packets_per_sec\": "
+  json << "  \"fig13_fullstack\": {\n"
+       << "    \"n_flows\": " << kFullstackFlows << ", \"per_flow_sources\": true,\n";
+  const auto emit_fs = [&json](const char* key, const FullstackRun& r, bool last) {
+    if (!r.ran) return;
+    json << "    \"" << key << "\": {\"simulated_packets_per_sec\": " << r.pps
+         << ", \"events_per_sec\": " << r.eps << ", \"wall_seconds\": " << r.wall
+         << ", \"simulated_throughput_mpps\": " << r.throughput_mpps
+         << ", \"pending_events\": " << r.pending << "}" << (last ? "\n" : ",\n");
+  };
+  emit_fs("heap", fs_heap, !fs_ladder.ran);
+  emit_fs("ladder", fs_ladder, !(fs_heap.ran && fs_ladder.ran));
+  if (fs_heap.ran && fs_ladder.ran) {
+    json << "    \"ladder_vs_heap_speedup\": " << fs_heap.wall / fs_ladder.wall
+         << ", \"counters_identical\": " << (fullstack_diverged ? "false" : "true") << "\n";
+  }
+  json << "  },\n"
+       << "  \"fig13_multiqueue\": {\"backend\": \"heap\", \"simulated_packets_per_sec\": "
        << fig13_pps << ", \"events_per_sec\": " << fig13_eps
        << ", \"wall_seconds\": " << fig13_wall
        << ", \"simulated_throughput_mpps\": " << result.throughput_mpps << "}\n"
        << "}\n";
+  if (fullstack_diverged) {
+    std::cout << "\nwrote BENCH_kernel.json (BACKEND DIVERGENCE — failing)\n";
+    return 1;
+  }
   std::cout << "\nwrote BENCH_kernel.json\n";
   return 0;
 }

@@ -2,66 +2,77 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace metro::apps {
 
 using sim::Time;
 
-Testbed::Testbed(const ExperimentConfig& cfg) : cfg_(cfg) {
-  sim_ = std::make_unique<sim::Simulation>(cfg.seed);
+template <typename Sim>
+BasicTestbed<Sim>::BasicTestbed(const ExperimentConfig& cfg) : cfg_(cfg) {
+  sim_ = std::make_unique<Sim>(cfg.seed);
 
   sim::CoreConfig core_cfg;
   core_cfg.governor = cfg.governor;
-  machine_ = std::make_unique<sim::Machine>(*sim_, cfg.n_cores, core_cfg);
+  machine_ = std::make_unique<sim::BasicMachine<Sim>>(*sim_, cfg.n_cores, core_cfg);
 
   // Latency in microseconds: 0.05 us bins up to 5 ms.
   latency_ = std::make_unique<stats::Histogram>(0.05, 5000.0);
+  latency_recorder_.hist = latency_.get();
 
   nic::PortConfig port_cfg = cfg.xl710 ? nic::xl710_config(cfg.n_queues)
                                        : nic::x520_config(cfg.n_queues);
   port_cfg.tx_batch = cfg.tx_batch;
-  auto* hist = latency_.get();
-  port_ = std::make_unique<nic::Port>(
-      *sim_, port_cfg, [hist](const nic::PacketDesc& pkt, Time tx_time) {
-        // End-to-end latency as MoonGen would measure it: software dwell
-        // time plus the fixed DMA/PCIe/timestamping path.
-        hist->add(sim::to_micros(tx_time - pkt.arrival + sim::calib::kFixedPathLatency));
-      });
+  port_ = std::make_unique<nic::BasicPort<Sim>>(*sim_, port_cfg,
+                                                nic::TxCallback(latency_recorder_));
 
   flows_ = std::make_unique<tgen::FlowSet>(cfg.workload.n_flows, cfg.workload.seed);
-  std::unique_ptr<tgen::FlowPicker> picker;
-  if (cfg.workload.heavy_share > 0.0) {
-    picker = std::make_unique<tgen::UnbalancedFlowPicker>(
-        0, cfg.workload.heavy_share, static_cast<std::uint32_t>(cfg.workload.n_flows));
-  } else {
-    picker =
-        std::make_unique<tgen::UniformFlowPicker>(static_cast<std::uint32_t>(cfg.workload.n_flows));
+  if (!cfg.workload.per_flow_sources) {
+    std::unique_ptr<tgen::FlowPicker> picker;
+    if (cfg.workload.heavy_share > 0.0) {
+      picker = std::make_unique<tgen::UnbalancedFlowPicker>(
+          0, cfg.workload.heavy_share, static_cast<std::uint32_t>(cfg.workload.n_flows));
+    } else {
+      picker = std::make_unique<tgen::UniformFlowPicker>(
+          static_cast<std::uint32_t>(cfg.workload.n_flows));
+    }
+    tgen::StreamConfig stream;
+    stream.rate_pps = cfg.workload.rate_mpps * 1e6;
+    stream.wire_size = cfg.workload.wire_size;
+    stream.imix = cfg.workload.imix;
+    stream.poisson = cfg.workload.poisson;
+    stream.seed = cfg.workload.seed;
+    stream.duration = cfg.warmup + cfg.measure + 100 * sim::kMillisecond;
+    generator_ = std::make_unique<tgen::StreamGenerator>(stream, *flows_, std::move(picker));
   }
-  tgen::StreamConfig stream;
-  stream.rate_pps = cfg.workload.rate_mpps * 1e6;
-  stream.wire_size = cfg.workload.wire_size;
-  stream.imix = cfg.workload.imix;
-  stream.poisson = cfg.workload.poisson;
-  stream.seed = cfg.workload.seed;
-  stream.duration = cfg.warmup + cfg.measure + 100 * sim::kMillisecond;
-  generator_ = std::make_unique<tgen::StreamGenerator>(stream, *flows_, std::move(picker));
 }
 
-Testbed::~Testbed() = default;
+template <typename Sim>
+BasicTestbed<Sim>::~BasicTestbed() = default;
 
-void Testbed::start() {
+template <typename Sim>
+void BasicTestbed<Sim>::start() {
   assert(!started_);
   started_ = true;
 
-  if (generator_ != nullptr && cfg_.workload.rate_mpps > 0.0) {
-    tgen::attach(*sim_, *port_, *generator_);
+  if (cfg_.workload.rate_mpps > 0.0) {
+    if (cfg_.workload.per_flow_sources) {
+      tgen::PerFlowSourceConfig src;
+      src.total_rate_pps = cfg_.workload.rate_mpps * 1e6;
+      src.poisson = cfg_.workload.poisson;
+      src.wire_size = cfg_.workload.wire_size;
+      src.duration = cfg_.warmup + cfg_.measure + 100 * sim::kMillisecond;
+      tgen::attach_per_flow_sources(*sim_, *port_, *flows_, src);
+    } else if (generator_ != nullptr) {
+      tgen::attach(*sim_, *port_, *generator_);
+    }
   }
 
   switch (cfg_.driver) {
     case DriverKind::kMetronome: {
-      std::vector<sim::Core*> cores;
+      std::vector<Core*> cores;
       for (int i = 0; i < cfg_.n_cores; ++i) cores.push_back(&machine_->core(i));
-      metronome_ = std::make_unique<core::Metronome>(*sim_, *port_, cores, cfg_.met);
+      metronome_ = std::make_unique<core::BasicMetronome<Sim>>(*sim_, *port_, cores, cfg_.met);
       metronome_->start();
       for (const auto& t : metronome_->threads()) {
         driver_entities_.push_back(EntitySnapshot{t.core, t.entity, 0});
@@ -74,7 +85,7 @@ void Testbed::start() {
       // CPU-contention experiments).
       for (int q = 0; q < port_->n_rx_queues(); ++q) {
         auto stats = std::make_unique<dpdk::DriverStats>();
-        sim::Core& core = machine_->core(q % cfg_.n_cores);
+        Core& core = machine_->core(q % cfg_.n_cores);
         const auto ent = dpdk::spawn_static_lcore(*sim_, *port_, q, core, cfg_.polling, *stats);
         driver_entities_.push_back(EntitySnapshot{&core, ent, 0});
         polling_stats_.push_back(std::move(stats));
@@ -87,7 +98,7 @@ void Testbed::start() {
       }
       for (int q = 0; q < port_->n_rx_queues(); ++q) {
         auto stats = std::make_unique<dpdk::XdpStats>();
-        sim::Core& core = machine_->core(q);
+        Core& core = machine_->core(q);
         const auto ent = dpdk::spawn_xdp_queue(*sim_, *port_, q, core, cfg_.xdp, *stats);
         driver_entities_.push_back(EntitySnapshot{&core, ent, 0});
         xdp_stats_.push_back(std::move(stats));
@@ -104,9 +115,11 @@ void Testbed::start() {
   }
 }
 
-void Testbed::run_until(Time t) { sim_->run_until(t); }
+template <typename Sim>
+void BasicTestbed<Sim>::run_until(Time t) { sim_->run_until(t); }
 
-void Testbed::begin_measurement() {
+template <typename Sim>
+void BasicTestbed<Sim>::begin_measurement() {
   window_start_ = sim_->now();
   machine_start_ = machine_->snapshot_all();  // settles all cores
   for (auto& e : driver_entities_) e.on_cpu_at_start = e.core->on_cpu_time(e.entity);
@@ -117,7 +130,8 @@ void Testbed::begin_measurement() {
   tx_at_start_ = port_->tx().total_transmitted();
 }
 
-ExperimentResult Testbed::finish_measurement() {
+template <typename Sim>
+ExperimentResult BasicTestbed<Sim>::finish_measurement() {
   ExperimentResult r;
   const auto machine_end = machine_->snapshot_all();
   const Time window = sim_->now() - window_start_;
@@ -158,7 +172,8 @@ ExperimentResult Testbed::finish_measurement() {
   return r;
 }
 
-double Testbed::window_cpu_percent() {
+template <typename Sim>
+double BasicTestbed<Sim>::window_cpu_percent() {
   machine_->snapshot_all();  // settle so on_cpu_time is current
   const Time now = sim_->now();
   if (cpu_probe_oncpu_.size() != driver_entities_.size()) {
@@ -180,7 +195,8 @@ double Testbed::window_cpu_percent() {
   return dt > 0 ? 100.0 * sum / static_cast<double>(dt) : 0.0;
 }
 
-std::uint64_t Testbed::packets_processed() const {
+template <typename Sim>
+std::uint64_t BasicTestbed<Sim>::packets_processed() const {
   if (metronome_) return metronome_->packets_processed();
   std::uint64_t total = 0;
   for (const auto& s : polling_stats_) total += s->packets_processed;
@@ -188,13 +204,19 @@ std::uint64_t Testbed::packets_processed() const {
   return total;
 }
 
+template <typename Sim>
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  Testbed bed(cfg);
+  BasicTestbed<Sim> bed(cfg);
   bed.start();
   bed.run_until(cfg.warmup);
   bed.begin_measurement();
   bed.run_until(cfg.warmup + cfg.measure);
   return bed.finish_measurement();
 }
+
+template class BasicTestbed<sim::Simulation>;
+template class BasicTestbed<sim::LadderSimulation>;
+template ExperimentResult run_experiment<sim::Simulation>(const ExperimentConfig&);
+template ExperimentResult run_experiment<sim::LadderSimulation>(const ExperimentConfig&);
 
 }  // namespace metro::apps

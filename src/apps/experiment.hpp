@@ -6,6 +6,13 @@
 // optional co-scheduled CPU-bound competitor, a warm-up phase and a
 // measurement window. This header packages that wiring once, so each bench
 // is just a parameter sweep + a table printer.
+//
+// The whole stack is generic over the event-queue backend: BasicTestbed<Sim>
+// (and run_experiment<Sim>) assemble the same layers on any kernel
+// instantiation, and execution is bit-identical across backends — same
+// counters, same latency histogram, same final clock (enforced by
+// tests/test_backend_fullstack.cpp). `Testbed` and the plain
+// run_experiment(cfg) call bind to the default heap kernel as before.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +44,14 @@ struct WorkloadConfig {
   std::size_t n_flows = 256;
   /// > 0: fraction of packets belonging to flow 0 (§V-F.4 unbalanced mix).
   double heavy_share = 0.0;
+  /// One arrival process per flow instead of the grouped stream feeder:
+  /// n_flows concurrently pending timers — the large-population regime the
+  /// ladder backend targets (see tgen/feeder.hpp). Costs one event per
+  /// packet; leave off unless the pending population is the point.
+  /// Honours rate_mpps, n_flows, poisson (per-flow gaps) and wire_size;
+  /// flows are uniform by construction, so imix and heavy_share do not
+  /// apply in this mode.
+  bool per_flow_sources = false;
   std::uint64_t seed = 42;
 };
 
@@ -93,19 +108,23 @@ struct ExperimentResult {
   std::vector<QueueDetail> queues;
 };
 
-ExperimentResult run_experiment(const ExperimentConfig& cfg);
-
 /// The live simulation testbed, for benches needing time series (Fig. 9)
 /// or bespoke sequencing (Fig. 12). run_experiment() is built on this.
-class Testbed {
+/// \tparam Sim the kernel instantiation; the heap alias `Testbed`
+///   preserves the original spelling.
+template <typename Sim = sim::Simulation>
+class BasicTestbed {
  public:
-  explicit Testbed(const ExperimentConfig& cfg);
-  ~Testbed();
+  explicit BasicTestbed(const ExperimentConfig& cfg);
+  ~BasicTestbed();
 
-  sim::Simulation& sim() { return *sim_; }
-  sim::Machine& machine() { return *machine_; }
-  nic::Port& port() { return *port_; }
-  core::Metronome* metronome() { return metronome_.get(); }
+  Sim& sim() { return *sim_; }
+  sim::BasicMachine<Sim>& machine() { return *machine_; }
+  nic::BasicPort<Sim>& port() { return *port_; }
+  core::BasicMetronome<Sim>* metronome() { return metronome_.get(); }
+  /// The end-to-end latency histogram backing the result boxplot
+  /// (microseconds; cross-backend identity checks compare its raw bins).
+  const stats::Histogram& latency_histogram() const { return *latency_; }
 
   /// Spawn the configured driver + workload + competitors.
   void start();
@@ -124,27 +143,40 @@ class Testbed {
   std::uint64_t packets_processed() const;
 
  private:
+  using Core = sim::BasicCore<Sim>;
+
   struct EntitySnapshot {
-    sim::Core* core;
-    sim::Core::EntityId entity;
+    Core* core;
+    typename Core::EntityId entity;
     sim::Time on_cpu_at_start = 0;
   };
 
+  /// Bound into the Tx ring as a non-owning TxCallback: records the
+  /// MoonGen-style end-to-end latency (software dwell time plus the fixed
+  /// DMA/PCIe/timestamping path) into the histogram.
+  struct LatencyRecorder {
+    stats::Histogram* hist = nullptr;
+    void operator()(const nic::PacketDesc& pkt, sim::Time tx_time) const {
+      hist->add(sim::to_micros(tx_time - pkt.arrival + sim::calib::kFixedPathLatency));
+    }
+  };
+
   ExperimentConfig cfg_;
-  std::unique_ptr<sim::Simulation> sim_;
-  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<Sim> sim_;
+  std::unique_ptr<sim::BasicMachine<Sim>> machine_;
   std::unique_ptr<stats::Histogram> latency_;
-  std::unique_ptr<nic::Port> port_;
+  LatencyRecorder latency_recorder_;  // must outlive port_ (non-owning ref)
+  std::unique_ptr<nic::BasicPort<Sim>> port_;
   std::unique_ptr<tgen::FlowSet> flows_;
   std::unique_ptr<tgen::Generator> generator_;
-  std::unique_ptr<core::Metronome> metronome_;
+  std::unique_ptr<core::BasicMetronome<Sim>> metronome_;
   std::vector<std::unique_ptr<dpdk::DriverStats>> polling_stats_;
   std::vector<std::unique_ptr<dpdk::XdpStats>> xdp_stats_;
   std::vector<EntitySnapshot> driver_entities_;
 
   // measurement window state
   sim::Time window_start_ = 0;
-  std::vector<sim::Core::Snapshot> machine_start_;
+  std::vector<typename Core::Snapshot> machine_start_;
   std::uint64_t rx_at_start_ = 0;
   std::uint64_t drop_at_start_ = 0;
   std::uint64_t tx_at_start_ = 0;
@@ -155,5 +187,14 @@ class Testbed {
 
   bool started_ = false;
 };
+
+/// Heap-kernel alias (the original spelling).
+using Testbed = BasicTestbed<sim::Simulation>;
+
+/// Assemble, warm up, measure, tear down — on the chosen kernel
+/// instantiation (run_experiment(cfg) without a template argument is the
+/// heap path, unchanged).
+template <typename Sim = sim::Simulation>
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
 }  // namespace metro::apps

@@ -7,8 +7,9 @@ namespace metro::core {
 using sim::Time;
 namespace calib = sim::calib;
 
-Metronome::Metronome(sim::Simulation& sim, nic::Port& port, std::vector<sim::Core*> cores,
-                     MetronomeConfig cfg)
+template <typename Sim>
+BasicMetronome<Sim>::BasicMetronome(Sim& sim, nic::BasicPort<Sim>& port,
+                                    std::vector<sim::BasicCore<Sim>*> cores, MetronomeConfig cfg)
     : sim_(sim), port_(port), cores_(std::move(cores)), cfg_(cfg) {
   const int n = port_.n_rx_queues();
   queues_.reserve(static_cast<std::size_t>(n));
@@ -21,7 +22,8 @@ Metronome::Metronome(sim::Simulation& sim, nic::Port& port, std::vector<sim::Cor
   }
 }
 
-Time Metronome::compute_ts(const QueueState& q) const {
+template <typename Sim>
+Time BasicMetronome<Sim>::compute_ts(const QueueState& q) const {
   if (!cfg_.adaptive) return cfg_.fixed_ts;
   const double target_us = sim::to_micros(cfg_.target_vacation);
   const double ts_us = model::ts_for_target_multiqueue(target_us, q.rho.value(), cfg_.n_threads,
@@ -29,23 +31,25 @@ Time Metronome::compute_ts(const QueueState& q) const {
   return sim::from_micros(ts_us);
 }
 
-void Metronome::start() {
+template <typename Sim>
+void BasicMetronome<Sim>::start() {
   if (started_) return;
   started_ = true;
   threads_.reserve(static_cast<std::size_t>(cfg_.n_threads));
   for (int t = 0; t < cfg_.n_threads; ++t) {
-    sim::Core* core = cores_[static_cast<std::size_t>(t) % cores_.size()];
+    sim::BasicCore<Sim>* core = cores_[static_cast<std::size_t>(t) % cores_.size()];
     const auto ent = core->add_entity("metronome-" + std::to_string(t), -20);
     threads_.push_back(ThreadRef{core, ent});
-    sleepers_.push_back(std::make_unique<sim::SleepService>(sim_, cfg_.sleep, core));
+    sleepers_.push_back(std::make_unique<sim::BasicSleepService<Sim>>(sim_, cfg_.sleep, core));
     sim_.spawn(thread_task(t));
   }
 }
 
-sim::Task Metronome::thread_task(int thread_id) {
-  sim::Core& core = *threads_[static_cast<std::size_t>(thread_id)].core;
+template <typename Sim>
+sim::Task BasicMetronome<Sim>::thread_task(int thread_id) {
+  sim::BasicCore<Sim>& core = *threads_[static_cast<std::size_t>(thread_id)].core;
   const auto ent = threads_[static_cast<std::size_t>(thread_id)].entity;
-  sim::SleepService& sleeper = *sleepers_[static_cast<std::size_t>(thread_id)];
+  sim::BasicSleepService<Sim>& sleeper = *sleepers_[static_cast<std::size_t>(thread_id)];
   const int n_queues = port_.n_rx_queues();
   std::vector<nic::PacketDesc> burst(static_cast<std::size_t>(cfg_.burst));
 
@@ -81,7 +85,7 @@ sim::Task Metronome::thread_task(int thread_id) {
     ++q.lock_successes;
     const Time acquire = sim_.now();
     const Time vacation = q.last_release >= 0 ? acquire - q.last_release : -1;
-    nic::RxRing& ring = port_.rx_queue(curr);
+    nic::BasicRxRing<Sim>& ring = port_.rx_queue(curr);
     const auto nv = static_cast<double>(ring.size());
     std::uint64_t drained = 0;
 
@@ -124,42 +128,49 @@ sim::Task Metronome::thread_task(int thread_id) {
   }
 }
 
-std::uint64_t Metronome::packets_processed() const {
+template <typename Sim>
+std::uint64_t BasicMetronome<Sim>::packets_processed() const {
   std::uint64_t total = 0;
   for (const auto& q : queues_) total += q->packets;
   return total;
 }
 
-std::uint64_t Metronome::total_tries() const {
+template <typename Sim>
+std::uint64_t BasicMetronome<Sim>::total_tries() const {
   std::uint64_t total = 0;
   for (const auto& q : queues_) total += q->total_tries;
   return total;
 }
 
-std::uint64_t Metronome::busy_tries() const {
+template <typename Sim>
+std::uint64_t BasicMetronome<Sim>::busy_tries() const {
   std::uint64_t total = 0;
   for (const auto& q : queues_) total += q->busy_tries;
   return total;
 }
 
-double Metronome::busy_try_fraction() const {
+template <typename Sim>
+double BasicMetronome<Sim>::busy_try_fraction() const {
   const auto tries = total_tries();
   return tries ? static_cast<double>(busy_tries()) / static_cast<double>(tries) : 0.0;
 }
 
-double Metronome::mean_rho() const {
+template <typename Sim>
+double BasicMetronome<Sim>::mean_rho() const {
   double sum = 0.0;
   for (const auto& q : queues_) sum += q->rho.value();
   return sum / static_cast<double>(queues_.size());
 }
 
-double Metronome::mean_ts_us() const {
+template <typename Sim>
+double BasicMetronome<Sim>::mean_ts_us() const {
   double sum = 0.0;
   for (const auto& q : queues_) sum += sim::to_micros(q->ts);
   return sum / static_cast<double>(queues_.size());
 }
 
-void Metronome::reset_stats() {
+template <typename Sim>
+void BasicMetronome<Sim>::reset_stats() {
   for (auto& q : queues_) {
     q->total_tries = 0;
     q->busy_tries = 0;
@@ -170,5 +181,8 @@ void Metronome::reset_stats() {
     q->nv.reset();
   }
 }
+
+template class BasicMetronome<sim::Simulation>;
+template class BasicMetronome<sim::LadderSimulation>;
 
 }  // namespace metro::core

@@ -92,12 +92,17 @@ struct QueueState {
 /// drain the port's Rx queues (see the file comment for the loop), owns
 /// the per-queue shared state, and aggregates the statistics the figure
 /// benches read.
-class Metronome {
+///
+/// \tparam Sim the kernel instantiation (any backend). The heap alias
+///   `Metronome` preserves the original spelling; member definitions live
+///   in metronome.cpp with explicit instantiations for both backends.
+template <typename Sim = sim::Simulation>
+class BasicMetronome {
  public:
   /// Threads are placed round-robin on `cores` (thread i on
   /// cores[i % cores.size()]); the port's queue count defines N.
-  Metronome(sim::Simulation& sim, nic::Port& port, std::vector<sim::Core*> cores,
-            MetronomeConfig cfg);
+  BasicMetronome(Sim& sim, nic::BasicPort<Sim>& port, std::vector<sim::BasicCore<Sim>*> cores,
+                 MetronomeConfig cfg);
 
   /// Spawn all M threads. Each starts with a small random stagger so wake
   /// times decorrelate from t = 0 (they would anyway after a few cycles).
@@ -128,8 +133,8 @@ class Metronome {
 
   /// (core, entity) of every thread, for CPU-usage accounting.
   struct ThreadRef {
-    sim::Core* core;
-    sim::Core::EntityId entity;
+    sim::BasicCore<Sim>* core;
+    typename sim::BasicCore<Sim>::EntityId entity;
   };
   const std::vector<ThreadRef>& threads() const noexcept { return threads_; }
 
@@ -137,14 +142,17 @@ class Metronome {
   sim::Task thread_task(int thread_id);
   sim::Time compute_ts(const QueueState& q) const;
 
-  sim::Simulation& sim_;
-  nic::Port& port_;
-  std::vector<sim::Core*> cores_;
+  Sim& sim_;
+  nic::BasicPort<Sim>& port_;
+  std::vector<sim::BasicCore<Sim>*> cores_;
   MetronomeConfig cfg_;
   std::vector<std::unique_ptr<QueueState>> queues_;
   std::vector<ThreadRef> threads_;
-  std::vector<std::unique_ptr<sim::SleepService>> sleepers_;  // one per thread
+  std::vector<std::unique_ptr<sim::BasicSleepService<Sim>>> sleepers_;  // one per thread
   bool started_ = false;
 };
+
+/// Heap-kernel alias (the original spelling).
+using Metronome = BasicMetronome<sim::Simulation>;
 
 }  // namespace metro::core

@@ -1,16 +1,19 @@
 #include "dpdk/freq_scaling.hpp"
 
+#include <string>
 #include <vector>
 
 namespace metro::dpdk {
 
 namespace {
 
-sim::Task freq_scaling_task(sim::Simulation& sim, nic::Port& port, int queue, sim::Core& core,
-                            sim::Core::EntityId ent, FreqScalingConfig cfg,
+template <typename Sim>
+sim::Task freq_scaling_task(Sim& sim, nic::BasicPort<Sim>& port, int queue,
+                            sim::BasicCore<Sim>& core,
+                            typename sim::BasicCore<Sim>::EntityId ent, FreqScalingConfig cfg,
                             FreqScalingStats& stats) {
-  nic::RxRing& ring = port.rx_queue(queue);
-  nic::TxRing& tx = port.tx();
+  nic::BasicRxRing<Sim>& ring = port.rx_queue(queue);
+  nic::BasicTxRing<Sim>& tx = port.tx();
   std::vector<nic::PacketDesc> burst(static_cast<std::size_t>(cfg.burst));
   sim::Time last_tx_flush = sim.now();
   int idle_streak = 0;
@@ -85,12 +88,25 @@ sim::Task freq_scaling_task(sim::Simulation& sim, nic::Port& port, int queue, si
 
 }  // namespace
 
-sim::Core::EntityId spawn_freq_scaling_lcore(sim::Simulation& sim, nic::Port& port, int queue,
-                                             sim::Core& core, const FreqScalingConfig& cfg,
-                                             FreqScalingStats& stats) {
+template <typename Sim>
+typename sim::BasicCore<Sim>::EntityId spawn_freq_scaling_lcore(Sim& sim,
+                                                                nic::BasicPort<Sim>& port,
+                                                                int queue,
+                                                                sim::BasicCore<Sim>& core,
+                                                                const FreqScalingConfig& cfg,
+                                                                FreqScalingStats& stats) {
   const auto ent = core.add_entity("l3fwd-power-q" + std::to_string(queue), 0);
   sim.spawn(freq_scaling_task(sim, port, queue, core, ent, cfg, stats));
   return ent;
 }
+
+template sim::BasicCore<sim::Simulation>::EntityId spawn_freq_scaling_lcore<sim::Simulation>(
+    sim::Simulation&, nic::BasicPort<sim::Simulation>&, int, sim::BasicCore<sim::Simulation>&,
+    const FreqScalingConfig&, FreqScalingStats&);
+template sim::BasicCore<sim::LadderSimulation>::EntityId
+spawn_freq_scaling_lcore<sim::LadderSimulation>(sim::LadderSimulation&,
+                                                nic::BasicPort<sim::LadderSimulation>&, int,
+                                                sim::BasicCore<sim::LadderSimulation>&,
+                                                const FreqScalingConfig&, FreqScalingStats&);
 
 }  // namespace metro::dpdk

@@ -1,15 +1,19 @@
 #include "dpdk/static_polling.hpp"
 
+#include <string>
 #include <vector>
 
 namespace metro::dpdk {
 
 namespace {
 
-sim::Task static_lcore_task(sim::Simulation& sim, nic::Port& port, int queue, sim::Core& core,
-                            sim::Core::EntityId ent, StaticPollingConfig cfg, DriverStats& stats) {
-  nic::RxRing& ring = port.rx_queue(queue);
-  nic::TxRing& tx = port.tx();
+template <typename Sim>
+sim::Task static_lcore_task(Sim& sim, nic::BasicPort<Sim>& port, int queue,
+                            sim::BasicCore<Sim>& core,
+                            typename sim::BasicCore<Sim>::EntityId ent, StaticPollingConfig cfg,
+                            DriverStats& stats) {
+  nic::BasicRxRing<Sim>& ring = port.rx_queue(queue);
+  nic::BasicTxRing<Sim>& tx = port.tx();
   std::vector<nic::PacketDesc> burst(static_cast<std::size_t>(cfg.burst));
   sim::Time last_tx_flush = sim.now();
 
@@ -51,12 +55,23 @@ sim::Task static_lcore_task(sim::Simulation& sim, nic::Port& port, int queue, si
 
 }  // namespace
 
-sim::Core::EntityId spawn_static_lcore(sim::Simulation& sim, nic::Port& port, int queue,
-                                       sim::Core& core, const StaticPollingConfig& cfg,
-                                       DriverStats& stats) {
+template <typename Sim>
+typename sim::BasicCore<Sim>::EntityId spawn_static_lcore(Sim& sim, nic::BasicPort<Sim>& port,
+                                                          int queue, sim::BasicCore<Sim>& core,
+                                                          const StaticPollingConfig& cfg,
+                                                          DriverStats& stats) {
   const auto ent = core.add_entity("dpdk-poll-q" + std::to_string(queue), cfg.nice);
   sim.spawn(static_lcore_task(sim, port, queue, core, ent, cfg, stats));
   return ent;
 }
+
+template sim::BasicCore<sim::Simulation>::EntityId spawn_static_lcore<sim::Simulation>(
+    sim::Simulation&, nic::BasicPort<sim::Simulation>&, int, sim::BasicCore<sim::Simulation>&,
+    const StaticPollingConfig&, DriverStats&);
+template sim::BasicCore<sim::LadderSimulation>::EntityId
+spawn_static_lcore<sim::LadderSimulation>(sim::LadderSimulation&,
+                                          nic::BasicPort<sim::LadderSimulation>&, int,
+                                          sim::BasicCore<sim::LadderSimulation>&,
+                                          const StaticPollingConfig&, DriverStats&);
 
 }  // namespace metro::dpdk

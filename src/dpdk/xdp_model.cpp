@@ -1,15 +1,19 @@
 #include "dpdk/xdp_model.hpp"
 
+#include <string>
 #include <vector>
 
 namespace metro::dpdk {
 
 namespace {
 
-sim::Task xdp_queue_task(sim::Simulation& sim, nic::Port& port, int queue, sim::Core& core,
-                         sim::Core::EntityId ent, XdpConfig cfg, XdpStats& stats) {
-  nic::RxRing& ring = port.rx_queue(queue);
-  nic::TxRing& tx = port.tx();
+template <typename Sim>
+sim::Task xdp_queue_task(Sim& sim, nic::BasicPort<Sim>& port, int queue,
+                         sim::BasicCore<Sim>& core,
+                         typename sim::BasicCore<Sim>::EntityId ent, XdpConfig cfg,
+                         XdpStats& stats) {
+  nic::BasicRxRing<Sim>& ring = port.rx_queue(queue);
+  nic::BasicTxRing<Sim>& tx = port.tx();
   std::vector<nic::PacketDesc> burst(static_cast<std::size_t>(cfg.napi_budget));
 
   for (;;) {
@@ -40,11 +44,20 @@ sim::Task xdp_queue_task(sim::Simulation& sim, nic::Port& port, int queue, sim::
 
 }  // namespace
 
-sim::Core::EntityId spawn_xdp_queue(sim::Simulation& sim, nic::Port& port, int queue,
-                                    sim::Core& core, const XdpConfig& cfg, XdpStats& stats) {
+template <typename Sim>
+typename sim::BasicCore<Sim>::EntityId spawn_xdp_queue(Sim& sim, nic::BasicPort<Sim>& port,
+                                                       int queue, sim::BasicCore<Sim>& core,
+                                                       const XdpConfig& cfg, XdpStats& stats) {
   const auto ent = core.add_entity("xdp-q" + std::to_string(queue), 0);
   sim.spawn(xdp_queue_task(sim, port, queue, core, ent, cfg, stats));
   return ent;
 }
+
+template sim::BasicCore<sim::Simulation>::EntityId spawn_xdp_queue<sim::Simulation>(
+    sim::Simulation&, nic::BasicPort<sim::Simulation>&, int, sim::BasicCore<sim::Simulation>&,
+    const XdpConfig&, XdpStats&);
+template sim::BasicCore<sim::LadderSimulation>::EntityId spawn_xdp_queue<sim::LadderSimulation>(
+    sim::LadderSimulation&, nic::BasicPort<sim::LadderSimulation>&, int,
+    sim::BasicCore<sim::LadderSimulation>&, const XdpConfig&, XdpStats&);
 
 }  // namespace metro::dpdk

@@ -20,21 +20,23 @@ PortConfig xl710_config(int n_queues) {
   return cfg;
 }
 
-Port::Port(sim::Simulation& sim, PortConfig cfg, TxRing::TxCallback on_tx)
+template <typename Sim>
+BasicPort<Sim>::BasicPort(Sim& sim, PortConfig cfg, TxCallback on_tx)
     : sim_(sim),
       cfg_(cfg),
       reta_(cfg.n_rx_queues),
-      tx_ring_(sim, cfg.tx_batch, std::move(on_tx)) {
+      tx_ring_(sim, cfg.tx_batch, on_tx) {
   rx_.reserve(static_cast<std::size_t>(cfg.n_rx_queues));
   for (int i = 0; i < cfg.n_rx_queues; ++i) {
-    rx_.push_back(std::make_unique<RxRing>(sim, cfg.rx_ring_size));
+    rx_.push_back(std::make_unique<BasicRxRing<Sim>>(sim, cfg.rx_ring_size));
   }
   if (cfg.max_pps > 0.0) {
     per_packet_ns_ = static_cast<sim::Time>(1e9 / cfg.max_pps);
   }
 }
 
-bool Port::rx(PacketDesc pkt) {
+template <typename Sim>
+bool BasicPort<Sim>::rx(PacketDesc pkt) {
   // Device-level processing cap (XL710 spec update #13): packets arriving
   // faster than the device can process are dropped at the MAC. Credit
   // accounting (next_accept_ advances by the per-packet budget, not to the
@@ -51,10 +53,40 @@ bool Port::rx(PacketDesc pkt) {
   return rx_[q]->push(pkt);
 }
 
-std::uint64_t Port::total_dropped() const {
+template <typename Sim>
+int BasicPort<Sim>::rx_burst(const PacketDesc* pkts, int n) {
+  int accepted = 0;
+  // One load of the cap/RETA state for the whole group; the per-packet
+  // body is the same accounting rx() performs.
+  if (per_packet_ns_ > 0) {
+    for (int i = 0; i < n; ++i) {
+      const PacketDesc& pkt = pkts[i];
+      if (pkt.arrival < next_accept_) {
+        ++cap_drops_;
+        continue;
+      }
+      next_accept_ = std::max(pkt.arrival - per_packet_ns_, next_accept_) + per_packet_ns_;
+      ++total_rx_;
+      accepted += rx_[reta_.queue_for(pkt.rss_hash)]->push(pkt) ? 1 : 0;
+    }
+  } else {
+    total_rx_ += static_cast<std::uint64_t>(n);
+    for (int i = 0; i < n; ++i) {
+      const PacketDesc& pkt = pkts[i];
+      accepted += rx_[reta_.queue_for(pkt.rss_hash)]->push(pkt) ? 1 : 0;
+    }
+  }
+  return accepted;
+}
+
+template <typename Sim>
+std::uint64_t BasicPort<Sim>::total_dropped() const {
   std::uint64_t drops = cap_drops_;
   for (const auto& ring : rx_) drops += ring->total_dropped();
   return drops;
 }
+
+template class BasicPort<sim::Simulation>;
+template class BasicPort<sim::LadderSimulation>;
 
 }  // namespace metro::nic

@@ -3,8 +3,14 @@
 // Models the Intel X520 (10 GbE, default single queue, 512-descriptor
 // rings) and XL710 (40 GbE, multi-queue, capped at ~37 Mpps aggregate
 // processing by the device itself — spec update #13, which the paper hits
-// in §V-F). Traffic sources push descriptors through `rx()`; the port
-// hashes them onto a queue via the RETA and tail-drops on full rings.
+// in §V-F). Traffic sources push descriptors through `rx()` — or, for
+// already-grouped deliveries, through `rx_burst()`, which runs the whole
+// group through cap accounting and RSS dispatch in one call — and the
+// port tail-drops on full rings.
+//
+// Templated over the kernel instantiation (BasicPort<Sim>); the heap alias
+// `Port` preserves the original spelling. Member definitions live in
+// port.cpp with explicit instantiations for the two shipped backends.
 #pragma once
 
 #include <cstdint>
@@ -32,18 +38,25 @@ struct PortConfig {
 PortConfig x520_config(int n_queues = 1);
 PortConfig xl710_config(int n_queues);
 
-class Port {
+template <typename Sim = sim::Simulation>
+class BasicPort {
  public:
-  Port(sim::Simulation& sim, PortConfig cfg, TxRing::TxCallback on_tx = {});
+  BasicPort(Sim& sim, PortConfig cfg, TxCallback on_tx = {});
 
   int n_rx_queues() const noexcept { return static_cast<int>(rx_.size()); }
-  RxRing& rx_queue(int i) { return *rx_[static_cast<std::size_t>(i)]; }
-  TxRing& tx() noexcept { return tx_ring_; }
+  BasicRxRing<Sim>& rx_queue(int i) { return *rx_[static_cast<std::size_t>(i)]; }
+  BasicTxRing<Sim>& tx() noexcept { return tx_ring_; }
   const PortConfig& config() const noexcept { return cfg_; }
 
   /// NIC-side ingress: RSS-dispatch one descriptor. Returns false if the
   /// packet was dropped (ring full or device cap exceeded).
   bool rx(PacketDesc pkt);
+
+  /// Ingress of `n` descriptors with non-decreasing arrival times (a
+  /// feeder group). Semantically identical to n rx() calls — same cap
+  /// accounting, same RSS dispatch, same drop counters — but one call per
+  /// group instead of one per packet. Returns how many were accepted.
+  int rx_burst(const PacketDesc* pkts, int n);
 
   // --- counters ---------------------------------------------------------
   std::uint64_t total_rx() const noexcept { return total_rx_; }
@@ -51,16 +64,19 @@ class Port {
   std::uint64_t device_cap_drops() const noexcept { return cap_drops_; }
 
  private:
-  sim::Simulation& sim_;
+  Sim& sim_;
   PortConfig cfg_;
   RssReta reta_;
-  std::vector<std::unique_ptr<RxRing>> rx_;
-  TxRing tx_ring_;
+  std::vector<std::unique_ptr<BasicRxRing<Sim>>> rx_;
+  BasicTxRing<Sim> tx_ring_;
   std::uint64_t total_rx_ = 0;
   std::uint64_t cap_drops_ = 0;
   /// Device pacing: earliest time the NIC can accept the next packet.
   sim::Time next_accept_ = 0;
   sim::Time per_packet_ns_ = 0;  // 1/max_pps, 0 if uncapped
 };
+
+/// Heap-kernel alias (the original spelling).
+using Port = BasicPort<sim::Simulation>;
 
 }  // namespace metro::nic

@@ -26,6 +26,13 @@
 // Power: RAPL-like package accounting is split into a package base plus a
 // per-core term: active cores burn static + dynamic (~f^3) power, idle cores
 // sit in a shallow C-state. Constants live in calibration.hpp.
+//
+// Like the rest of the app stack, the layer is templated over the kernel
+// instantiation (`BasicCore<Sim>` where Sim is a BasicSimulation<Backend>),
+// so full-stack scenarios run unchanged on any event-queue backend. The
+// heap-bound aliases `Core` / `Machine` preserve the original spellings;
+// member definitions live in cpu.cpp with explicit instantiations for the
+// two shipped backends.
 #pragma once
 
 #include <coroutine>
@@ -59,11 +66,13 @@ struct CoreConfig {
   double ondemand_up_threshold = calib::kOndemandUpThreshold;
 };
 
-class Core {
+/// One simulated CPU core, bound to kernel instantiation `Sim`.
+template <typename Sim = Simulation>
+class BasicCore {
  public:
   using EntityId = int;
 
-  Core(Simulation& sim, int core_id, CoreConfig cfg = {});
+  BasicCore(Sim& sim, int core_id, CoreConfig cfg = {});
 
   int id() const noexcept { return core_id_; }
 
@@ -77,7 +86,7 @@ class Core {
   /// Resumes once the work has been served under processor sharing.
   auto run_for(EntityId id, Time work) {
     struct Awaiter {
-      Core& core;
+      BasicCore& core;
       EntityId ent;
       Time work;
       bool await_ready() const noexcept { return work <= 0; }
@@ -144,7 +153,7 @@ class Core {
   void governor_tick();
   void set_freq(double ratio);
 
-  Simulation& sim_;
+  Sim& sim_;
   int core_id_;
   CoreConfig cfg_;
 
@@ -158,7 +167,7 @@ class Core {
   double freq_ratio_ = 1.0;
   /// Pending completion timer; cancelled and re-armed on every state
   /// change instead of being left to fire as a stale no-op.
-  Simulation::EventId completion_event_ = Simulation::kInvalidEvent;
+  typename Sim::EventId completion_event_ = Sim::kInvalidEvent;
 
   // ondemand sampling state
   Time last_sample_at_ = 0;
@@ -166,9 +175,12 @@ class Core {
 };
 
 /// A set of cores sharing one package, with aggregated power accounting.
-class Machine {
+template <typename Sim = Simulation>
+class BasicMachine {
  public:
-  Machine(Simulation& sim, int n_cores, CoreConfig cfg = {});
+  using Core = BasicCore<Sim>;
+
+  BasicMachine(Sim& sim, int n_cores, CoreConfig cfg = {});
 
   Core& core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
   const Core& core(int i) const { return *cores_[static_cast<std::size_t>(i)]; }
@@ -181,13 +193,18 @@ class Machine {
     double total_cpu_usage_percent = 0.0;  // sum over cores, 100 = one full core
   };
   /// Snapshot all cores (call at window start and end).
-  std::vector<Core::Snapshot> snapshot_all();
-  WindowStats window_stats(const std::vector<Core::Snapshot>& start,
-                           const std::vector<Core::Snapshot>& end) const;
+  std::vector<typename Core::Snapshot> snapshot_all();
+  WindowStats window_stats(const std::vector<typename Core::Snapshot>& start,
+                           const std::vector<typename Core::Snapshot>& end) const;
 
  private:
-  Simulation& sim_;
+  Sim& sim_;
   std::vector<std::unique_ptr<Core>> cores_;
 };
+
+/// Heap-kernel aliases (the original spellings; every existing call site
+/// keeps compiling unchanged).
+using Core = BasicCore<Simulation>;
+using Machine = BasicMachine<Simulation>;
 
 }  // namespace metro::sim

@@ -47,9 +47,9 @@
 #pragma once
 
 #include <algorithm>
-#include <array>
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
@@ -250,13 +250,29 @@ static_assert(EventQueueBackend<BinaryHeapBackend>);
 // Ladder queue backend
 // ---------------------------------------------------------------------------
 
+/// Geometry/tuning knobs of the LadderQueueBackend. The defaults are the
+/// constants the queue shipped with (32 buckets per rung, 32-entry sort
+/// threshold, 64-entry bottom spill) and every existing behaviour is
+/// preserved under them; the full-stack benches can sweep these to find
+/// the best geometry for a given pending-population profile.
+struct LadderConfig {
+  /// Buckets per rung; also the spill fan-out (width shrink factor).
+  std::uint32_t buckets = 32;
+  /// A dequeued bucket with at most this many entries is sorted straight
+  /// into bottom instead of spawning a child rung.
+  std::size_t sort_threshold = 32;
+  /// Bottom size at which an insert spills bottom into a fresh rung
+  /// (keeps the sorted-insert cost bounded).
+  std::size_t bottom_spill = 64;
+};
+
 /// Ladder/calendar queue tuned for very large pending-event populations.
 ///
 /// Structure (earliest at the bottom):
 ///
 ///     top     — unsorted vector for events at/after `top_floor_`
-///     rungs   — a stack of rungs, each kBuckets buckets of equal width;
-///               inner rungs subdivide one bucket of their parent
+///     rungs   — a stack of rungs, each LadderConfig::buckets buckets of
+///               equal width; inner rungs subdivide a parent bucket
 ///     bottom  — the imminent range, kept sorted by (at, seq)
 ///
 /// An insert is O(1) into top or a rung bucket, or a bounded sorted insert
@@ -281,14 +297,21 @@ class LadderQueueBackend {
  public:
   /// Lazy tombstone cancellation (see class comment).
   static constexpr bool kPositionalCancel = false;
-  /// Buckets per rung; also the spill fan-out (width shrink factor).
-  static constexpr std::uint32_t kBuckets = 32;
-  /// A dequeued bucket with at most this many entries is sorted straight
-  /// into bottom instead of spawning a child rung.
-  static constexpr std::size_t kSortThreshold = 32;
-  /// Bottom size at which an insert spills bottom into a fresh rung
-  /// (keeps the sorted-insert cost bounded).
-  static constexpr std::size_t kBottomSpill = 64;
+
+  /// Default geometry (LadderConfig defaults).
+  LadderQueueBackend() = default;
+  /// Custom geometry — rung/spill knobs for the bench sweeps. Degenerate
+  /// geometry (buckets < 2 would divide by zero in the width computation,
+  /// bottom_spill < 1 would spill on every insert) is rejected loudly in
+  /// every build type: sweeps run Release, where an assert would vanish.
+  explicit LadderQueueBackend(const LadderConfig& cfg) : cfg_(cfg) {
+    if (cfg.buckets < 2 || cfg.bottom_spill < 1) {
+      throw std::invalid_argument("LadderConfig: need buckets >= 2 and bottom_spill >= 1");
+    }
+  }
+
+  /// The geometry this instance runs with.
+  const LadderConfig& config() const noexcept { return cfg_; }
 
   /// Insert an entry: O(1) into top or a rung bucket, bounded sorted
   /// insert into bottom.
@@ -390,28 +413,33 @@ class LadderQueueBackend {
     return off > room ? INT64_MAX : start + static_cast<Time>(off);
   }
 
-  /// One rung: kBuckets buckets of `width` ns covering [start, end). The
-  /// last bucket is an *overflow* bucket absorbing [start + (kBuckets-1) *
-  /// width, end) — `end` may exceed start + kBuckets * width when a
-  /// bottom-spill rung is stretched up to the outer boundary so that no
-  /// time range is left uncovered between rungs.
+  /// One rung: cfg.buckets buckets of `width` ns covering [start, end).
+  /// The last bucket is an *overflow* bucket absorbing [start + (n-1) *
+  /// width, end) — `end` may exceed start + n * width when a bottom-spill
+  /// rung is stretched up to the outer boundary so that no time range is
+  /// left uncovered between rungs. The bucket vector is sized once per
+  /// pooled rung (acquire_rung) and reused thereafter.
   struct Rung {
     Time start = 0;  ///< time of bucket 0's left edge
     Time width = 1;  ///< bucket width, ns (>= 1)
     Time end = 0;    ///< exclusive upper edge of the rung's range
     std::uint32_t cur = 0;     ///< next unconsumed bucket index
     std::size_t count = 0;     ///< stored entries (tombstones included)
-    std::array<std::vector<EventEntry>, kBuckets> buckets;
+    std::vector<std::vector<EventEntry>> buckets;
+
+    std::uint32_t n_buckets() const noexcept {
+      return static_cast<std::uint32_t>(buckets.size());
+    }
 
     std::uint32_t bucket_index(Time at) const noexcept {
       const auto idx = static_cast<std::uint64_t>((at - start) / width);
-      return idx < kBuckets - 1 ? static_cast<std::uint32_t>(idx) : kBuckets - 1;
+      return idx < n_buckets() - 1 ? static_cast<std::uint32_t>(idx) : n_buckets() - 1;
     }
 
     /// Exclusive right edge of bucket `idx` (the overflow bucket ends at
     /// the rung's own end).
     Time bucket_end(std::uint32_t idx) const noexcept {
-      if (idx == kBuckets - 1) return end;
+      if (idx == n_buckets() - 1) return end;
       return std::min(end, sat_offset(start, idx + 1, width));
     }
 
@@ -438,7 +466,7 @@ class LadderQueueBackend {
                                         return event_precedes(a, b);
                                       });
     bottom_.insert(pos, e);
-    if (bottom_.size() - bottom_head_ > kBottomSpill) spill_bottom(ctx);
+    if (bottom_.size() - bottom_head_ > cfg_.bottom_spill) spill_bottom(ctx);
   }
 
   /// Move an oversized bottom into a fresh innermost rung. The rung is
@@ -455,7 +483,7 @@ class LadderQueueBackend {
     Rung& rung = acquire_rung();
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     rung.start = lo;
-    rung.width = static_cast<Time>((span + kBuckets - 1) / kBuckets);
+    rung.width = static_cast<Time>((span + cfg_.buckets - 1) / cfg_.buckets);
     rung.end = cap;
     for (std::size_t i = bottom_head_; i < bottom_.size(); ++i) {
       const EventEntry& e = bottom_[i];
@@ -495,7 +523,7 @@ class LadderQueueBackend {
         Rung& rung = rungs_[ri];
         while (rung.buckets[rung.cur].empty()) {
           ++rung.cur;
-          assert(rung.cur < kBuckets);
+          assert(rung.cur < rung.n_buckets());
         }
         const std::uint32_t bi = rung.cur;
         auto& bucket = rung.buckets[bi];
@@ -503,7 +531,7 @@ class LadderQueueBackend {
         const Time bucket_hi = rung.bucket_end(bi);
         ++rung.cur;  // boundary() advances past this bucket
         rung.count -= bucket.size();
-        if (bucket.size() <= kSortThreshold || bucket_hi - bucket_lo <= 1) {
+        if (bucket.size() <= cfg_.sort_threshold || bucket_hi - bucket_lo <= 1) {
           sort_into_bottom(bucket, ctx);
           bucket.clear();
         } else {
@@ -545,7 +573,7 @@ class LadderQueueBackend {
     Rung& child = acquire_rung();
     child.start = bstart;
     child.width = static_cast<Time>(
-        (static_cast<std::uint64_t>(bend - bstart) + kBuckets - 1) / kBuckets);
+        (static_cast<std::uint64_t>(bend - bstart) + cfg_.buckets - 1) / cfg_.buckets);
     child.end = bend;
     for (const EventEntry& e : scratch_) {
       if (ctx.dead(e)) continue;
@@ -563,8 +591,8 @@ class LadderQueueBackend {
     Rung& rung = acquire_rung();
     const auto span = static_cast<std::uint64_t>(top_max_ - top_min_) + 1;
     rung.start = top_min_;
-    rung.width = static_cast<Time>((span + kBuckets - 1) / kBuckets);
-    rung.end = sat_offset(rung.start, kBuckets, rung.width);
+    rung.width = static_cast<Time>((span + cfg_.buckets - 1) / cfg_.buckets);
+    rung.end = sat_offset(rung.start, cfg_.buckets, rung.width);
     top_floor_ = rung.end;
     for (const EventEntry& e : top_) {
       if (ctx.dead(e)) continue;
@@ -576,12 +604,16 @@ class LadderQueueBackend {
   }
 
   Rung& acquire_rung() {
-    if (n_rungs_ == rungs_.size()) rungs_.emplace_back();  // warm-up only
+    if (n_rungs_ == rungs_.size()) {
+      rungs_.emplace_back();  // warm-up only
+      rungs_.back().buckets.resize(cfg_.buckets);
+    }
     Rung& r = rungs_[n_rungs_++];
     assert(r.count == 0 && r.cur == 0);
     return r;
   }
 
+  LadderConfig cfg_{};
   std::vector<EventEntry> bottom_;  // sorted; consumed from bottom_head_
   std::size_t bottom_head_ = 0;
   std::vector<EventEntry> scratch_;  // detached bucket during a spawn

@@ -72,6 +72,11 @@ class BasicSimulation {
   /// Construct an idle simulation whose RNG is seeded with `seed`.
   explicit BasicSimulation(std::uint64_t seed = 1) : rng_(seed) {}
 
+  /// Construct with a pre-configured backend instance (e.g. a
+  /// LadderQueueBackend with non-default LadderConfig geometry).
+  BasicSimulation(std::uint64_t seed, Backend backend)
+      : queue_(std::move(backend)), rng_(seed) {}
+
   BasicSimulation(const BasicSimulation&) = delete;
   BasicSimulation& operator=(const BasicSimulation&) = delete;
 
@@ -390,10 +395,12 @@ class BasicSimulation {
   Rng rng_;
 };
 
-/// The default kernel: binary-heap event store (every production layer —
-/// Core, SleepService, Metronome, Port — binds to this type).
+/// The default kernel: binary-heap event store. The production layers
+/// (Core, SleepService, Metronome, Port, Testbed, ...) are generic over
+/// the kernel instantiation; their unsuffixed aliases bind to this type.
 using Simulation = BasicSimulation<BinaryHeapBackend>;
-/// The large-pending-population kernel variant.
+/// The large-pending-population kernel variant. The whole app stack also
+/// instantiates over this (BasicTestbed<LadderSimulation> etc.).
 using LadderSimulation = BasicSimulation<LadderQueueBackend>;
 
 /// A one-to-many wake-up signal. Processes co_await the signal (optionally

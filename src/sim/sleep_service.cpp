@@ -38,7 +38,8 @@ Overhead interpolate(std::span<const calib::SleepAnchor> anchors, Time requested
 
 }  // namespace
 
-Time SleepService::sample_timer_latency(Time requested) {
+template <typename Sim>
+Time BasicSleepService<Sim>::sample_timer_latency(Time requested) {
   Rng& rng = sim_.rng();
   if (cfg_.kind == SleepKind::kHrSleep && cfg_.sub_us_fast_return && requested < 1_us) {
     // Patched fast path: bare syscall entry/exit, no timer programmed.
@@ -57,7 +58,8 @@ Time SleepService::sample_timer_latency(Time requested) {
   return std::max<Time>(latency, 1);
 }
 
-Time SleepService::sample_dispatch_latency() {
+template <typename Sim>
+Time BasicSleepService<Sim>::sample_dispatch_latency() {
   Rng& rng = sim_.rng();
   Time d = calib::kDispatchBase;
   if (core_ != nullptr && core_->runnable_count() > 0) {
@@ -69,5 +71,8 @@ Time SleepService::sample_dispatch_latency() {
   }
   return d;
 }
+
+template class BasicSleepService<Simulation>;
+template class BasicSleepService<LadderSimulation>;
 
 }  // namespace metro::sim

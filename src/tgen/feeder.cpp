@@ -1,12 +1,15 @@
 #include "tgen/feeder.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <vector>
 
 namespace metro::tgen {
 
 namespace {
 
-sim::Task feeder_task(sim::Simulation& sim, nic::Port& port, Generator& gen, FeederConfig cfg) {
+template <typename Sim>
+sim::Task feeder_task(Sim& sim, nic::BasicPort<Sim>& port, Generator& gen, FeederConfig cfg) {
   std::vector<nic::PacketDesc> group;
   group.reserve(static_cast<std::size_t>(cfg.max_batch));
   std::optional<nic::PacketDesc> carry = gen.next();
@@ -24,17 +27,61 @@ sim::Task feeder_task(sim::Simulation& sim, nic::Port& port, Generator& gen, Fee
       }
       group.push_back(*pkt);
     }
-    // Deliver the whole group when its last packet has arrived on the wire.
+    // Deliver the whole group when its last packet has arrived on the wire
+    // — one port call per group, not one per packet.
     co_await sim.sleep_until(group.back().arrival);
-    for (const auto& pkt : group) port.rx(pkt);
+    port.rx_burst(group.data(), static_cast<int>(group.size()));
     if (!carry.has_value()) carry = gen.next();
+  }
+}
+
+template <typename Sim>
+sim::Task flow_source_task(Sim& sim, nic::BasicPort<Sim>& port, const FlowSet& flows,
+                           std::uint32_t flow_id, double mean_gap_ns, PerFlowSourceConfig cfg) {
+  const sim::Time end = cfg.start + cfg.duration;
+  // Uniform phase offset so the N sources decorrelate from t = start.
+  sim::Time next = cfg.start + static_cast<sim::Time>(sim.rng().uniform(0.0, mean_gap_ns));
+  nic::PacketDesc pkt;
+  pkt.flow_id = flow_id;
+  pkt.rss_hash = flows.rss_hash(flow_id);
+  pkt.wire_size = cfg.wire_size;
+  while (next <= end) {
+    co_await sim.sleep_until(next);
+    pkt.arrival = sim.now();
+    port.rx(pkt);
+    const double gap = cfg.poisson ? sim.rng().exponential(mean_gap_ns) : mean_gap_ns;
+    next += std::max<sim::Time>(1, static_cast<sim::Time>(gap));
   }
 }
 
 }  // namespace
 
-void attach(sim::Simulation& sim, nic::Port& port, Generator& gen, FeederConfig cfg) {
+template <typename Sim>
+void attach(Sim& sim, nic::BasicPort<Sim>& port, Generator& gen, FeederConfig cfg) {
   sim.spawn(feeder_task(sim, port, gen, cfg));
 }
+
+template <typename Sim>
+void attach_per_flow_sources(Sim& sim, nic::BasicPort<Sim>& port, const FlowSet& flows,
+                             PerFlowSourceConfig cfg) {
+  const auto n = flows.size();
+  if (n == 0 || cfg.total_rate_pps <= 0.0) return;
+  const double mean_gap_ns = 1e9 * static_cast<double>(n) / cfg.total_rate_pps;
+  for (std::size_t f = 0; f < n; ++f) {
+    sim.spawn(flow_source_task(sim, port, flows, static_cast<std::uint32_t>(f), mean_gap_ns, cfg));
+  }
+}
+
+template void attach<sim::Simulation>(sim::Simulation&, nic::BasicPort<sim::Simulation>&,
+                                      Generator&, FeederConfig);
+template void attach<sim::LadderSimulation>(sim::LadderSimulation&,
+                                            nic::BasicPort<sim::LadderSimulation>&, Generator&,
+                                            FeederConfig);
+template void attach_per_flow_sources<sim::Simulation>(sim::Simulation&,
+                                                       nic::BasicPort<sim::Simulation>&,
+                                                       const FlowSet&, PerFlowSourceConfig);
+template void attach_per_flow_sources<sim::LadderSimulation>(
+    sim::LadderSimulation&, nic::BasicPort<sim::LadderSimulation>&, const FlowSet&,
+    PerFlowSourceConfig);
 
 }  // namespace metro::tgen

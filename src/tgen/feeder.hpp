@@ -3,10 +3,21 @@
 // To keep the event count tractable at 10-40 Gbps line rates, arrivals are
 // grouped: the feeder pulls packets whose timestamps fall within a short
 // window (default 2 us, i.e. well below any vacation period of interest),
-// sleeps until the *last* arrival of the group, and pushes the group in one
-// event. Per-packet timestamps inside the group are exact, so latency
-// accounting is unaffected; only the instant at which the ring "sees" the
-// packets is coarsened by < window.
+// sleeps until the *last* arrival of the group, and pushes the group into
+// the port with one rx_burst() call. Per-packet timestamps inside the
+// group are exact, so latency accounting is unaffected; only the instant
+// at which the ring "sees" the packets is coarsened by < window.
+//
+// For scenarios where the *pending-event population* is the point (the
+// fig13 full-stack regime: tens of thousands of concurrently armed flow
+// timers), attach_per_flow_sources() spawns one arrival process per flow
+// instead: every flow keeps one timer armed at all times, so N flows put N
+// events in the kernel's pending store — the workload the ladder queue
+// backend exists for. One event per packet; use the grouped feeder when
+// simulation speed matters more than population realism.
+//
+// Both entry points are generic over the kernel instantiation; defined in
+// feeder.cpp and instantiated for both shipped backends.
 #pragma once
 
 #include <memory>
@@ -25,6 +36,24 @@ struct FeederConfig {
 
 /// Spawn a coroutine that feeds `gen` into `port` until exhaustion.
 /// The generator must outlive the simulation run.
-void attach(sim::Simulation& sim, nic::Port& port, Generator& gen, FeederConfig cfg = {});
+template <typename Sim>
+void attach(Sim& sim, nic::BasicPort<Sim>& port, Generator& gen, FeederConfig cfg = {});
+
+/// Per-flow arrival processes (see the file comment).
+struct PerFlowSourceConfig {
+  double total_rate_pps = 14.88e6;  ///< aggregate over all flows
+  bool poisson = true;              ///< exponential vs constant per-flow gaps
+  std::uint16_t wire_size = 64;
+  sim::Time start = 0;
+  sim::Time duration = sim::kSecond;
+};
+
+/// Spawn one arrival process per flow of `flows` (flows.size() concurrent
+/// pending timers). All randomness is drawn from the owning simulation's
+/// RNG in event order, so runs stay bit-identical across backends. The
+/// flow set must outlive the simulation run.
+template <typename Sim>
+void attach_per_flow_sources(Sim& sim, nic::BasicPort<Sim>& port, const FlowSet& flows,
+                             PerFlowSourceConfig cfg);
 
 }  // namespace metro::tgen

@@ -1,0 +1,144 @@
+// App-level cross-backend determinism.
+//
+// The kernel guarantees bit-identical *event traces* across event-queue
+// backends (test_determinism.cpp). Since PR 3 the full app stack — Core,
+// SleepService, rings, Port, drivers, Metronome, feeder, Testbed — is
+// generic over the backend, so the same guarantee must hold one level up:
+// an identical ExperimentConfig run on BasicTestbed<Simulation> and
+// BasicTestbed<LadderSimulation> must produce identical packet counters,
+// identical driver statistics and an identical latency histogram, bin for
+// bin. This is what lets the figure benches treat --backend as a pure
+// speed knob.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/experiment.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace metro::apps {
+namespace {
+
+struct FullstackFingerprint {
+  // Port / ring counters over the whole run.
+  std::uint64_t rx = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t events = 0;
+  sim::Time final_clock = 0;
+  // Measurement-window result counters.
+  std::uint64_t wakeups = 0;
+  std::uint64_t latency_count = 0;
+  std::uint64_t latency_overflow = 0;
+  // Raw latency histogram bins (the full distribution, not summaries).
+  std::vector<std::uint64_t> latency_bins;
+  // Continuous observables; bit-identical runs produce bit-identical
+  // doubles (same arithmetic on the same operand sequence).
+  double throughput_mpps = 0.0;
+  double cpu_percent = 0.0;
+  double package_watts = 0.0;
+  double rho = 0.0;
+
+  bool operator==(const FullstackFingerprint&) const = default;
+};
+
+template <typename Sim>
+FullstackFingerprint run_fullstack(const ExperimentConfig& cfg) {
+  BasicTestbed<Sim> bed(cfg);
+  bed.start();
+  bed.run_until(cfg.warmup);
+  bed.begin_measurement();
+  bed.run_until(cfg.warmup + cfg.measure);
+  const ExperimentResult r = bed.finish_measurement();
+
+  FullstackFingerprint fp;
+  fp.rx = bed.port().total_rx();
+  fp.dropped = bed.port().total_dropped();
+  fp.tx = bed.port().tx().total_transmitted();
+  fp.processed = bed.packets_processed();
+  fp.events = bed.sim().events_processed();
+  fp.final_clock = bed.sim().now();
+  fp.wakeups = r.wakeups;
+  const stats::Histogram& h = bed.latency_histogram();
+  fp.latency_count = h.count();
+  fp.latency_overflow = h.overflow();
+  fp.latency_bins.reserve(h.n_bins());
+  for (std::size_t i = 0; i < h.n_bins(); ++i) fp.latency_bins.push_back(h.bin_count(i));
+  fp.throughput_mpps = r.throughput_mpps;
+  fp.cpu_percent = r.cpu_percent;
+  fp.package_watts = r.package_watts;
+  fp.rho = r.rho;
+  return fp;
+}
+
+ExperimentConfig small_metronome_config() {
+  // Metronome driver, 2 queues — small enough for tier-1, big enough to
+  // exercise RSS dispatch, trylock contention, Tx batching and the
+  // latency-recording path.
+  ExperimentConfig cfg;
+  cfg.driver = DriverKind::kMetronome;
+  cfg.xl710 = true;
+  cfg.n_queues = 2;
+  cfg.n_cores = 3;
+  cfg.met.n_threads = 3;
+  cfg.met.target_vacation = 15 * sim::kMicrosecond;
+  cfg.workload.rate_mpps = 20.0;
+  cfg.workload.n_flows = 512;
+  cfg.warmup = 10 * sim::kMillisecond;
+  cfg.measure = 30 * sim::kMillisecond;
+  return cfg;
+}
+
+TEST(BackendFullstackTest, MetronomeCountersIdenticalAcrossBackends) {
+  const auto cfg = small_metronome_config();
+  const auto heap = run_fullstack<sim::Simulation>(cfg);
+  const auto ladder = run_fullstack<sim::LadderSimulation>(cfg);
+  ASSERT_GT(heap.processed, 100000u) << "scenario must do real work";
+  ASSERT_GT(heap.latency_count, 0u) << "latency histogram must record";
+  EXPECT_EQ(heap, ladder);
+}
+
+TEST(BackendFullstackTest, StaticPollingCountersIdenticalAcrossBackends) {
+  auto cfg = small_metronome_config();
+  cfg.driver = DriverKind::kStaticPolling;
+  cfg.governor = sim::Governor::kOndemand;  // governor-tick timers too
+  const auto heap = run_fullstack<sim::Simulation>(cfg);
+  const auto ladder = run_fullstack<sim::LadderSimulation>(cfg);
+  ASSERT_GT(heap.processed, 100000u);
+  EXPECT_EQ(heap, ladder);
+}
+
+TEST(BackendFullstackTest, PerFlowSourcesIdenticalAcrossBackends) {
+  // The large-pending-population workload mode (one timer per flow) —
+  // the regime the ladder backend targets — must also be trace-identical.
+  auto cfg = small_metronome_config();
+  cfg.workload.per_flow_sources = true;
+  cfg.workload.n_flows = 2048;
+  cfg.workload.rate_mpps = 10.0;
+  cfg.measure = 15 * sim::kMillisecond;
+  const auto heap = run_fullstack<sim::Simulation>(cfg);
+  const auto ladder = run_fullstack<sim::LadderSimulation>(cfg);
+  ASSERT_GT(heap.processed, 50000u);
+  EXPECT_EQ(heap, ladder);
+}
+
+TEST(BackendFullstackTest, LadderRunsFasterRegimeHasLargePopulation) {
+  // Sanity-check the per-flow mode actually creates the pending population
+  // it exists for (one armed timer per flow).
+  auto cfg = small_metronome_config();
+  cfg.workload.per_flow_sources = true;
+  cfg.workload.n_flows = 2048;
+  cfg.workload.rate_mpps = 10.0;
+  cfg.warmup = sim::kMillisecond;
+  cfg.measure = sim::kMillisecond;
+  BasicTestbed<sim::LadderSimulation> bed(cfg);
+  bed.start();
+  bed.run_until(cfg.warmup);
+  EXPECT_GE(bed.sim().pending_events(), 2048u);
+}
+
+}  // namespace
+}  // namespace metro::apps
