@@ -5,17 +5,22 @@
 // convention: a header naming the experiment, the paper's qualitative
 // expectation, then an aligned table of the regenerated rows.
 //
-// Common CLI flags:
+// Common CLI flags (parse_args() is the one shared parser):
 //   --fast                shrink the measurement windows (CI smoke mode)
 //   --backend=heap|ladder|both
 //                         which event-queue backend(s) the bench drives.
 //                         The full app stack is generic over the backend,
 //                         so the figure benches honour this flag too:
-//                         kernel_throughput and fig13/14 default to both
-//                         (fig13 cross-checks that the backends produce
-//                         identical packet counters); the remaining
-//                         figure benches default to heap, the traditional
+//                         kernel_throughput, fig13/14 and scenario_matrix
+//                         default to both (fig13 and scenario_matrix
+//                         cross-check that the backends produce identical
+//                         packet counters); the remaining figure benches
+//                         default to heap, the traditional
 //                         figure-generation path.
+//   --jobs=N              worker threads for benches that sweep through
+//                         scenario::SweepRunner. Results are bit-identical
+//                         for any N; only wall time changes. Benches whose
+//                         headline *is* wall time default to 1.
 #pragma once
 
 #include <algorithm>
@@ -24,9 +29,12 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <type_traits>
+#include <vector>
 
 #include "apps/experiment.hpp"
+#include "scenario/sweep.hpp"
 #include "stats/table.hpp"
 
 namespace metro::bench {
@@ -61,56 +69,55 @@ inline BackendChoice backend_choice(int argc, char** argv,
 inline bool use_heap(BackendChoice c) { return c != BackendChoice::kLadder; }
 inline bool use_ladder(BackendChoice c) { return c != BackendChoice::kHeap; }
 
-/// Invoke `fn(std::type_identity<Sim>{}, "name")` for every enabled
-/// backend's kernel instantiation — the runtime->compile-time dispatch the
-/// backend-generic figure benches share.
-template <typename Fn>
-inline void for_each_backend(BackendChoice c, Fn&& fn) {
-  if (use_heap(c)) fn(std::type_identity<metro::sim::Simulation>{}, "heap");
-  if (use_ladder(c)) fn(std::type_identity<metro::sim::LadderSimulation>{}, "ladder");
+/// The enabled backends as SweepRunner shard kinds, heap first.
+inline std::vector<scenario::BackendKind> backend_kinds(BackendChoice c) {
+  std::vector<scenario::BackendKind> out;
+  if (use_heap(c)) out.push_back(scenario::BackendKind::kHeap);
+  if (use_ladder(c)) out.push_back(scenario::BackendKind::kLadder);
+  return out;
 }
 
-/// Full-run packet counters (warmup + measurement): the cross-backend
-/// identity fingerprint. Defined once here so every backend-generic bench
-/// checks the same counter set; the tier-1 test
-/// (tests/test_backend_fullstack.cpp) deliberately keeps its own, deeper
-/// fingerprint (histogram bins included) so a bench bug cannot mask a
-/// test bug.
-struct RunCounters {
-  std::uint64_t rx = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t tx = 0;
-  std::uint64_t processed = 0;
-  bool operator==(const RunCounters&) const = default;
+/// Default worker count for benches whose sweeps run through
+/// scenario::SweepRunner: half the hardware threads (each shard is a
+/// single-threaded simulation; leaving headroom keeps the host usable),
+/// at least 1, at most 8.
+inline int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw / 2, 1u, 8u));
+}
+
+/// --jobs=N (defaults to `def`). Rejects non-positive or malformed values
+/// loudly, same policy as --backend.
+inline int jobs_flag(int argc, char** argv, int def) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[i] + 7, &end, 10);
+      if (end == argv[i] + 7 || *end != '\0' || v < 1 || v > 1024) {
+        std::cerr << "bad --jobs value '" << (argv[i] + 7) << "' (want 1..1024)\n";
+        std::exit(2);
+      }
+      return static_cast<int>(v);
+    }
+  }
+  return def;
+}
+
+/// The shared flag set, parsed once per bench (the one place --fast /
+/// --backend / --jobs spellings live).
+struct Args {
+  bool fast = false;
+  BackendChoice backend = BackendChoice::kBoth;
+  int jobs = 1;
 };
 
-/// One Testbed run (assemble, warm up, measure, harvest) with the
-/// observables the backend-generic benches report.
-struct CountedRun {
-  apps::ExperimentResult result;
-  RunCounters counters;
-  std::uint64_t events = 0;            ///< kernel events over the whole run
-  std::size_t pending_at_measure = 0;  ///< pending events at measurement start
-  double wall_seconds = 0.0;
-};
-
-template <typename Sim>
-CountedRun run_counted(const apps::ExperimentConfig& cfg) {
-  const auto t0 = std::chrono::steady_clock::now();
-  apps::BasicTestbed<Sim> bed(cfg);
-  bed.start();
-  bed.run_until(cfg.warmup);
-  bed.begin_measurement();
-  CountedRun out;
-  out.pending_at_measure = bed.sim().pending_events();
-  bed.run_until(cfg.warmup + cfg.measure);
-  out.result = bed.finish_measurement();
-  out.counters = RunCounters{bed.port().total_rx(), bed.port().total_dropped(),
-                             bed.port().tx().total_transmitted(), bed.packets_processed()};
-  out.events = bed.sim().events_processed();
-  out.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return out;
+inline Args parse_args(int argc, char** argv, BackendChoice def_backend,
+                       int def_jobs) {
+  Args a;
+  a.fast = fast_mode(argc, argv);
+  a.backend = backend_choice(argc, argv, def_backend);
+  a.jobs = jobs_flag(argc, argv, def_jobs);
+  return a;
 }
 
 inline void header(const std::string& title, const std::string& paper_expectation) {

@@ -6,108 +6,153 @@
 // The full app stack is generic over the event-queue backend, so the bench
 // takes --backend=heap|ladder|both (default both). With both enabled every
 // configuration runs on each backend and the bench *fails* (exit 1) if any
-// run's packet counters diverge — the two backends must produce the same
-// execution, only at different simulation speed. Per-configuration wall
-// time is reported so the ladder's full-stack advantage is visible here
-// too (the tracked number lives in BENCH_kernel.json's fig13_fullstack).
+// run's packet counters or latency-histogram digest diverge — the two
+// backends must produce the same execution, only at different simulation
+// speed (the tracked wall number lives in BENCH_kernel.json's
+// fig13_fullstack).
+//
+// The whole configuration matrix is expanded up front and executed by
+// scenario::SweepRunner on --jobs worker threads (default: half the
+// hardware threads) — results are bit-identical for any job count, so the
+// tables below don't depend on the parallelism, only the wall time does.
 #include <map>
 
 #include "common.hpp"
 
 using namespace metro;
-using bench::RunCounters;
+using scenario::BackendKind;
+using scenario::Shard;
+using scenario::ShardResult;
+
+namespace {
+
+// Upper bound of the Metronome thread-count sweep (M = queues..kMaxCores);
+// the print loop flushes each configuration's table at its kMaxCores row.
+constexpr int kMaxCores = 8;
+
+apps::ExperimentConfig static_ref_config(sim::Governor governor, int queues,
+                                         const bench::Windows& w) {
+  apps::ExperimentConfig cfg;
+  cfg.driver = apps::DriverKind::kStaticPolling;
+  cfg.xl710 = true;
+  cfg.n_queues = queues;
+  cfg.n_cores = queues;
+  cfg.governor = governor;
+  cfg.workload.rate_mpps = 37.0;
+  cfg.workload.n_flows = 4096;
+  cfg.warmup = w.warmup;
+  cfg.measure = w.measure;
+  return cfg;
+}
+
+apps::ExperimentConfig metronome_config(sim::Governor governor, int queues, int m,
+                                        const bench::Windows& w) {
+  apps::ExperimentConfig cfg;
+  cfg.driver = apps::DriverKind::kMetronome;
+  cfg.xl710 = true;
+  cfg.n_queues = queues;
+  cfg.n_cores = m;
+  cfg.governor = governor;
+  cfg.met.n_threads = m;
+  cfg.met.target_vacation = 15 * sim::kMicrosecond;
+  cfg.workload.rate_mpps = 37.0;
+  cfg.workload.n_flows = 4096;
+  cfg.warmup = w.warmup;
+  cfg.measure = w.measure;
+  return cfg;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
-  const auto choice = bench::backend_choice(argc, argv);
-  const auto w = bench::windows(fast);
+  const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kBoth,
+                                      bench::default_jobs());
+  const auto w = bench::windows(args.fast);
+  const auto backends = bench::backend_kinds(args.backend);
 
   bench::header("Figures 13+14 - multiqueue CPU/power and busy-tries/rho",
                 "with 2 queues per-queue load is high (rho ~0.7): gains are mostly "
                 "CPU. More queues -> lower per-queue rho, fewer busy tries, larger "
                 "CPU and power gains. ondemand trades extra CPU time for power");
 
-  // configuration key -> counters per backend, for the divergence check.
-  std::map<std::string, std::vector<std::pair<std::string, RunCounters>>> fingerprints;
-  std::map<std::string, double> wall_by_backend;
-
-  bench::for_each_backend(choice, [&](auto tag, const std::string& backend) {
-    using Sim = typename decltype(tag)::type;
-    std::cout << "--- backend: " << backend << " ---\n\n";
-
+  // Expand the whole matrix up front; shard order is the print order.
+  std::vector<Shard> shards;
+  for (const BackendKind backend : backends) {
     for (const auto governor : {sim::Governor::kPerformance, sim::Governor::kOndemand}) {
-      const char* gov_name = governor == sim::Governor::kPerformance ? "performance" : "ondemand";
+      const char* gov_name =
+          governor == sim::Governor::kPerformance ? "performance" : "ondemand";
       for (const int queues : {2, 3, 4}) {
-        // Static DPDK reference: one full core per queue.
-        apps::ExperimentConfig ref;
-        ref.driver = apps::DriverKind::kStaticPolling;
-        ref.xl710 = true;
-        ref.n_queues = queues;
-        ref.n_cores = queues;
-        ref.governor = governor;
-        ref.workload.rate_mpps = 37.0;
-        ref.workload.n_flows = 4096;
-        ref.warmup = w.warmup;
-        ref.measure = w.measure;
-        const auto rout = bench::run_counted<Sim>(ref);
-        const std::string ref_key =
-            std::string("static/") + gov_name + "/" + std::to_string(queues) + "q";
-        fingerprints[ref_key].emplace_back(backend, rout.counters);
-        wall_by_backend[backend] += rout.wall_seconds;
-
-        std::cout << gov_name << ", " << queues << " queues — static DPDK reference: CPU "
-                  << bench::num(rout.result.cpu_percent, 0) << "%, power "
-                  << bench::num(rout.result.package_watts, 1) << " W, throughput "
-                  << bench::num(rout.result.throughput_mpps, 1) << " Mpps\n";
-
-        stats::Table table({"M (cores)", "CPU (%)", "power (W)", "busy tries (%)", "rho",
-                            "throughput (Mpps)"});
-        for (int m = queues; m <= 8; ++m) {
-          apps::ExperimentConfig cfg;
-          cfg.driver = apps::DriverKind::kMetronome;
-          cfg.xl710 = true;
-          cfg.n_queues = queues;
-          cfg.n_cores = m;
-          cfg.governor = governor;
-          cfg.met.n_threads = m;
-          cfg.met.target_vacation = 15 * sim::kMicrosecond;
-          cfg.workload.rate_mpps = 37.0;
-          cfg.workload.n_flows = 4096;
-          cfg.warmup = w.warmup;
-          cfg.measure = w.measure;
-          const auto out = bench::run_counted<Sim>(cfg);
-          const std::string key = std::string("metronome/") + gov_name + "/" +
-                                  std::to_string(queues) + "q/m" + std::to_string(m);
-          fingerprints[key].emplace_back(backend, out.counters);
-          wall_by_backend[backend] += out.wall_seconds;
-          const auto& r = out.result;
-          table.add_row({bench::num(m, 0), bench::num(r.cpu_percent, 1),
-                         bench::num(r.package_watts, 2), bench::num(r.busy_tries_pct, 1),
-                         bench::num(r.rho, 3), bench::num(r.throughput_mpps, 1)});
+        const std::string base = std::string(gov_name) + "/" + std::to_string(queues) + "q";
+        shards.push_back(
+            Shard{"static/" + base, backend, static_ref_config(governor, queues, w)});
+        for (int m = queues; m <= kMaxCores; ++m) {
+          shards.push_back(Shard{"metronome/" + base + "/m" + std::to_string(m), backend,
+                                 metronome_config(governor, queues, m, w)});
         }
-        table.print();
-        std::cout << "\n";
       }
     }
-  });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = scenario::SweepRunner(args.jobs).run(shards);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Print in shard order: static reference line, then the M table.
+  std::map<std::string, double> wall_by_backend;
+  stats::Table table({"M (cores)", "CPU (%)", "power (W)", "busy tries (%)", "rho",
+                      "throughput (Mpps)"});
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const Shard& s = shards[i];
+    const apps::ExperimentResult& r = results[i].result;
+    wall_by_backend[scenario::backend_name(s.backend)] += results[i].wall_seconds;
+    if (s.config.driver == apps::DriverKind::kStaticPolling) {
+      if (s.config.n_queues == 2 && s.config.governor == sim::Governor::kPerformance) {
+        std::cout << "--- backend: " << scenario::backend_name(s.backend) << " ---\n\n";
+      }
+      const char* gov_name =
+          s.config.governor == sim::Governor::kPerformance ? "performance" : "ondemand";
+      std::cout << gov_name << ", " << s.config.n_queues
+                << " queues — static DPDK reference: CPU " << bench::num(r.cpu_percent, 0)
+                << "%, power " << bench::num(r.package_watts, 1) << " W, throughput "
+                << bench::num(r.throughput_mpps, 1) << " Mpps\n";
+      continue;
+    }
+    table.add_row({bench::num(s.config.n_cores, 0), bench::num(r.cpu_percent, 1),
+                   bench::num(r.package_watts, 2), bench::num(r.busy_tries_pct, 1),
+                   bench::num(r.rho, 3), bench::num(r.throughput_mpps, 1)});
+    if (s.config.n_cores == kMaxCores) {  // last row of this configuration's table
+      table.print();
+      std::cout << "\n";
+      table = stats::Table({"M (cores)", "CPU (%)", "power (W)", "busy tries (%)", "rho",
+                            "throughput (Mpps)"});
+    }
+  }
 
   for (const auto& [backend, wall] : wall_by_backend) {
     std::cout << "total simulation wall time, " << backend << ": " << bench::num(wall, 2)
-              << " s\n";
+              << " s (CPU-seconds across shards)\n";
   }
+  std::cout << "elapsed: " << bench::num(elapsed, 2) << " s on " << args.jobs << " job(s)\n";
 
   // Cross-backend identity: every configuration must have produced the
-  // exact same packet counters on every backend that ran it.
+  // exact same packet counters and latency distribution on every backend.
+  std::map<std::string, std::vector<std::size_t>> by_key;
+  for (std::size_t i = 0; i < shards.size(); ++i) by_key[shards[i].scenario].push_back(i);
   bool diverged = false;
-  for (const auto& [key, runs] : fingerprints) {
-    for (std::size_t i = 1; i < runs.size(); ++i) {
-      if (!(runs[i].second == runs[0].second)) {
+  for (const auto& [key, idx] : by_key) {
+    for (std::size_t j = 1; j < idx.size(); ++j) {
+      const ShardResult& a = results[idx[0]];
+      const ShardResult& b = results[idx[j]];
+      if (!(a.counters == b.counters) || a.latency_digest != b.latency_digest) {
         diverged = true;
-        std::cerr << "BACKEND DIVERGENCE at " << key << ": " << runs[0].first << " (rx "
-                  << runs[0].second.rx << ", tx " << runs[0].second.tx << ", drop "
-                  << runs[0].second.dropped << ") vs " << runs[i].first << " (rx "
-                  << runs[i].second.rx << ", tx " << runs[i].second.tx << ", drop "
-                  << runs[i].second.dropped << ")\n";
+        std::cerr << "BACKEND DIVERGENCE at " << key << ": "
+                  << scenario::backend_name(shards[idx[0]].backend) << " (rx "
+                  << a.counters.rx << ", tx " << a.counters.tx << ", drop "
+                  << a.counters.dropped << ", latency digest " << a.latency_digest << ") vs "
+                  << scenario::backend_name(shards[idx[j]].backend) << " (rx "
+                  << b.counters.rx << ", tx " << b.counters.tx << ", drop "
+                  << b.counters.dropped << ", latency digest " << b.latency_digest << ")\n";
       }
     }
   }
@@ -115,9 +160,10 @@ int main(int argc, char** argv) {
     std::cerr << "\nFAIL: event-queue backends must produce bit-identical executions\n";
     return 1;
   }
-  if (bench::use_heap(choice) && bench::use_ladder(choice)) {
-    std::cout << "cross-backend check: all " << fingerprints.size()
-              << " configurations produced identical rx/tx/drop counters on both backends\n";
+  if (backends.size() > 1) {
+    std::cout << "cross-backend check: all " << by_key.size()
+              << " configurations produced identical counters and latency digests on "
+              << backends.size() << " backends\n";
   }
   return 0;
 }

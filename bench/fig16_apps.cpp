@@ -4,58 +4,93 @@
 //
 // Backend-generic: --backend=heap|ladder|both selects the event-queue
 // backend(s) the stack runs on (default heap; results are bit-identical
-// across backends, only the simulation speed differs).
+// across backends, only the simulation speed differs). Both apps' rate x
+// driver matrices run through scenario::SweepRunner on --jobs workers.
 #include "common.hpp"
 
 using namespace metro;
+using scenario::Shard;
 
 namespace {
 
-template <typename Sim>
-void run_app(const char* name, sim::Time per_packet_cost, const std::vector<double>& rates,
-             const bench::Windows& w) {
-  stats::Table table({"rate (Mpps)", "driver", "CPU (%)", "throughput (Mpps)"});
-  for (const double mpps : rates) {
-    for (const bool metronome : {false, true}) {
-      apps::ExperimentConfig cfg;
-      cfg.driver = metronome ? apps::DriverKind::kMetronome : apps::DriverKind::kStaticPolling;
-      cfg.met.per_packet_cost = per_packet_cost;
-      cfg.polling.per_packet_cost = per_packet_cost;
-      cfg.n_cores = 3;
-      cfg.workload.rate_mpps = mpps;
-      cfg.warmup = w.warmup;
-      cfg.measure = w.measure;
-      const auto r = apps::run_experiment<Sim>(cfg);
-      table.add_row({bench::num(mpps, 2), metronome ? "Metronome" : "static DPDK",
-                     bench::num(r.cpu_percent, 1), bench::num(r.throughput_mpps, 2)});
-    }
-  }
-  std::cout << name << "\n";
-  table.print();
-  std::cout << "\n";
-}
+struct App {
+  const char* title;
+  sim::Time per_packet_cost;
+  std::vector<double> rates;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
-  const auto choice = bench::backend_choice(argc, argv, bench::BackendChoice::kHeap);
-  const auto w = bench::windows(fast);
+  const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kHeap,
+                                      bench::default_jobs());
+  const auto w = bench::windows(args.fast);
+  const auto backends = bench::backend_kinds(args.backend);
 
   bench::header("Figure 16 - IPsec gateway and FloWatcher CPU usage",
                 "IPsec: both reach the same 5.61 Mpps max (one Metronome thread never "
                 "releases the lock there -> ~100% CPU); Metronome wins as rate drops. "
                 "FloWatcher: ~50% CPU gain at line rate, ~5x at 0.5 Mpps");
 
-  bench::for_each_backend(choice, [&](auto tag, const std::string& backend) {
-    using Sim = typename decltype(tag)::type;
-    if (choice == bench::BackendChoice::kBoth) {
-      std::cout << "--- backend: " << backend << " ---\n\n";
+  const std::vector<App> apps_under_test = {
+      {"IPsec Security Gateway (AES-CBC 128 ESP tunnel)", sim::calib::kIpsecPerPacketCost,
+       {5.61, 3.0, 1.0, 0.5, 0.1}},
+      {"FloWatcher-DPDK (run-to-completion flow monitor)",
+       sim::calib::kFlowatcherPerPacketCost, {14.88, 10.0, 5.0, 1.0, 0.5}}};
+
+  // The shard label carries the app title; rate and driver are read back
+  // from each shard's config at print time, so rows cannot mispair with
+  // results however the loops above them change.
+  std::vector<Shard> shards;
+  for (const auto backend : backends) {
+    for (const auto& app : apps_under_test) {
+      for (const double mpps : app.rates) {
+        for (const bool metronome : {false, true}) {
+          apps::ExperimentConfig cfg;
+          cfg.driver =
+              metronome ? apps::DriverKind::kMetronome : apps::DriverKind::kStaticPolling;
+          cfg.met.per_packet_cost = app.per_packet_cost;
+          cfg.polling.per_packet_cost = app.per_packet_cost;
+          cfg.n_cores = 3;
+          cfg.workload.rate_mpps = mpps;
+          cfg.warmup = w.warmup;
+          cfg.measure = w.measure;
+          shards.push_back(Shard{app.title, backend, cfg});
+        }
+      }
     }
-    run_app<Sim>("IPsec Security Gateway (AES-CBC 128 ESP tunnel)",
-                 sim::calib::kIpsecPerPacketCost, {5.61, 3.0, 1.0, 0.5, 0.1}, w);
-    run_app<Sim>("FloWatcher-DPDK (run-to-completion flow monitor)",
-                 sim::calib::kFlowatcherPerPacketCost, {14.88, 10.0, 5.0, 1.0, 0.5}, w);
-  });
+  }
+  const auto results = scenario::SweepRunner(args.jobs).run(shards);
+
+  // Print in shard order, flushing a table whenever the app (shard label)
+  // or backend changes.
+  const auto table_header = [] {
+    return stats::Table({"rate (Mpps)", "driver", "CPU (%)", "throughput (Mpps)"});
+  };
+  stats::Table table = table_header();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const Shard& s = shards[i];
+    if (i == 0 || s.backend != shards[i - 1].backend) {
+      if (backends.size() > 1) {
+        std::cout << "--- backend: " << scenario::backend_name(s.backend) << " ---\n\n";
+      }
+    }
+    if (i == 0 || s.scenario != shards[i - 1].scenario ||
+        s.backend != shards[i - 1].backend) {
+      std::cout << s.scenario << "\n";
+    }
+    const bool metronome = s.config.driver == apps::DriverKind::kMetronome;
+    const auto& r = results[i].result;
+    table.add_row({bench::num(s.config.workload.rate_mpps, 2),
+                   metronome ? "Metronome" : "static DPDK", bench::num(r.cpu_percent, 1),
+                   bench::num(r.throughput_mpps, 2)});
+    const bool last = i + 1 == shards.size();
+    if (last || shards[i + 1].scenario != s.scenario ||
+        shards[i + 1].backend != s.backend) {
+      table.print();
+      std::cout << "\n";
+      table = table_header();
+    }
+  }
   return 0;
 }

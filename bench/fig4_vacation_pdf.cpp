@@ -21,6 +21,7 @@
 #include "apps/experiment.hpp"
 #include "common.hpp"
 #include "core/model.hpp"
+#include "util/seed_mix.hpp"
 
 using namespace metro;
 
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
     for (int seed = 0; seed < n_seeds; ++seed) {
       apps::ExperimentConfig cfg;
       cfg.driver = apps::DriverKind::kMetronome;
-      cfg.seed = static_cast<std::uint64_t>(1000 + seed);
+      cfg.seed = util::mix_seed(1000, static_cast<std::uint64_t>(seed));
       cfg.met.n_threads = m;
       cfg.n_cores = 3;
       cfg.met.adaptive = false;

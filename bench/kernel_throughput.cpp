@@ -57,6 +57,7 @@
 
 #include "apps/experiment.hpp"
 #include "common.hpp"
+#include "scenario/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
@@ -356,24 +357,19 @@ struct ScenarioResult {
 
 // --- fig13 full-stack scenarios -------------------------------------------
 
-// The fig13 multiqueue testbed: XL710, 2 queues, 4 Metronome threads,
-// 37 Mpps offered.
+// The fig13 multiqueue testbed (scenario::fig13_testbed(): XL710, 2
+// queues, 4 Metronome threads, 37 Mpps), with this bench's traditional
+// short windows so the trajectory series stays comparable PR over PR.
 metro::apps::ExperimentConfig fig13_config(bool fast) {
-  metro::apps::ExperimentConfig cfg;
-  cfg.driver = metro::apps::DriverKind::kMetronome;
-  cfg.xl710 = true;
-  cfg.n_queues = 2;
-  cfg.n_cores = 4;
-  cfg.met.n_threads = 4;
-  cfg.met.target_vacation = 15 * metro::sim::kMicrosecond;
-  cfg.workload.rate_mpps = 37.0;
-  cfg.workload.n_flows = 4096;
+  auto cfg = metro::scenario::fig13_testbed();
   cfg.warmup = 50 * metro::sim::kMillisecond;
   cfg.measure = (fast ? 100 : 400) * metro::sim::kMillisecond;
   return cfg;
 }
 
-// Per-flow-source population for fig13_fullstack: >24k pending flow timers.
+// Per-flow-source population for fig13_fullstack: >24k pending flow timers
+// (the registered "fig13_fullstack_perflow" scenario, which the geometry
+// sweep below also runs).
 constexpr std::size_t kFullstackFlows = 24576;
 
 struct FullstackRun {
@@ -382,22 +378,20 @@ struct FullstackRun {
   double eps = 0.0;   // kernel events / wall second
   double throughput_mpps = 0.0;
   // Cross-backend identity fingerprint — the same counter set
-  // bench_fig13_14_multiqueue checks (bench/common.hpp RunCounters).
-  metro::bench::RunCounters counters;
+  // bench_fig13_14_multiqueue checks (scenario::ShardCounters).
+  metro::scenario::ShardCounters counters;
   std::size_t pending = 0;  // pending events at measurement start
   bool ran = false;
 };
 
-template <typename Sim>
-FullstackRun run_fullstack(const metro::apps::ExperimentConfig& cfg) {
-  const auto run = metro::bench::run_counted<Sim>(cfg);
+FullstackRun from_shard(const metro::scenario::ShardResult& r) {
   FullstackRun out;
-  out.wall = run.wall_seconds;
-  out.pps = static_cast<double>(run.counters.processed) / out.wall;
-  out.eps = static_cast<double>(run.events) / out.wall;
-  out.throughput_mpps = run.result.throughput_mpps;
-  out.counters = run.counters;
-  out.pending = run.pending_at_measure;
+  out.wall = r.wall_seconds;
+  out.pps = static_cast<double>(r.counters.processed) / out.wall;
+  out.eps = static_cast<double>(r.events) / out.wall;
+  out.throughput_mpps = r.result.throughput_mpps;
+  out.counters = r.counters;
+  out.pending = r.pending_at_measure;
   out.ran = true;
   return out;
 }
@@ -412,10 +406,13 @@ void emit_backend_run(std::ofstream& json, const char* key, const ScenarioResult
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = metro::bench::fast_mode(argc, argv);
-  const auto choice = metro::bench::backend_choice(argc, argv);
-  const bool heap_on = metro::bench::use_heap(choice);
-  const bool ladder_on = metro::bench::use_ladder(choice);
+  // Wall time *is* this bench's headline metric, so sweeps default to one
+  // job — concurrent shards would contend for cache/memory bandwidth and
+  // distort per-shard wall numbers. --jobs=N is available for quick looks.
+  const auto args = metro::bench::parse_args(argc, argv, metro::bench::BackendChoice::kBoth, 1);
+  const bool fast = args.fast;
+  const bool heap_on = metro::bench::use_heap(args.backend);
+  const bool ladder_on = metro::bench::use_ladder(args.backend);
   const std::uint64_t scale = fast ? 1 : 4;
 
   metro::bench::header(
@@ -527,16 +524,30 @@ int main(int argc, char** argv) {
 
   // fig13_fullstack: the same testbed with one arrival process per flow —
   // kFullstackFlows concurrently pending timers — on every enabled
-  // backend. The tracked number: per-backend simulated packets/sec.
-  auto fs_cfg = fig13_config(fast);
-  fs_cfg.workload.n_flows = kFullstackFlows;
-  fs_cfg.workload.per_flow_sources = true;
-  fs_cfg.workload.poisson = true;  // exponential per-flow gaps
+  // backend, driven as a SweepRunner shard list over the registered
+  // "fig13_fullstack_perflow" scenario. The tracked number: per-backend
+  // simulated packets/sec.
+  const auto* fs_scenario = metro::scenario::find_scenario("fig13_fullstack_perflow");
+  if (fs_scenario == nullptr) {
+    std::cerr << "fig13_fullstack_perflow missing from the scenario registry\n";
+    return 2;
+  }
+  auto fs_cfg = fs_scenario->config;  // per-flow Poisson sources, 24576 flows
+  // The windows this scenario has always used *in this bench* (since PR 3,
+  // pre-registry) — shorter than the registry defaults — so the tracked
+  // fig13_fullstack series stays comparable PR over PR.
   fs_cfg.warmup = 20 * metro::sim::kMillisecond;
   fs_cfg.measure = (fast ? 60 : 200) * metro::sim::kMillisecond;
+  std::vector<metro::scenario::Shard> fs_shards;
+  for (const auto backend : metro::bench::backend_kinds(args.backend)) {
+    fs_shards.push_back(metro::scenario::Shard{fs_scenario->name, backend, fs_cfg});
+  }
+  const auto fs_results = metro::scenario::SweepRunner(args.jobs).run(fs_shards);
   FullstackRun fs_heap, fs_ladder;
-  if (heap_on) fs_heap = run_fullstack<BasicSimulation<BinaryHeapBackend>>(fs_cfg);
-  if (ladder_on) fs_ladder = run_fullstack<BasicSimulation<LadderQueueBackend>>(fs_cfg);
+  for (std::size_t i = 0; i < fs_shards.size(); ++i) {
+    (fs_shards[i].backend == metro::scenario::BackendKind::kHeap ? fs_heap : fs_ladder) =
+        from_shard(fs_results[i]);
+  }
   bool fullstack_diverged = false;
   if (fs_heap.ran && fs_ladder.ran && !(fs_heap.counters == fs_ladder.counters)) {
     fullstack_diverged = true;
@@ -545,6 +556,38 @@ int main(int argc, char** argv) {
     std::cerr << "BACKEND DIVERGENCE in fig13_fullstack: heap rx/drop/tx/processed " << h.rx
               << "/" << h.dropped << "/" << h.tx << "/" << h.processed << " vs ladder " << l.rx
               << "/" << l.dropped << "/" << l.tx << "/" << l.processed << "\n";
+  }
+
+  // Ladder rung/spill geometry sweep (the ROADMAP open item): the
+  // fig13_fullstack_perflow scenario as a SweepRunner matrix over a
+  // buckets x bottom_spill grid, same seed and windows as the fs_ runs
+  // above. Geometry is a pure speed knob, so every grid point must
+  // reproduce the default geometry's counters bit for bit; the best wall
+  // time (and the whole grid) lands in BENCH_kernel.json.
+  std::vector<metro::scenario::Shard> geo_shards;
+  std::vector<FullstackRun> geo_runs;
+  bool geometry_diverged = false;
+  std::size_t geo_best = 0;
+  if (ladder_on) {
+    for (const std::uint32_t buckets : {16u, 32u, 64u}) {
+      for (const std::size_t spill : {std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
+        auto cfg = fs_cfg;
+        cfg.ladder = metro::sim::LadderConfig{buckets, 32, spill};
+        geo_shards.push_back(metro::scenario::Shard{
+            fs_scenario->name, metro::scenario::BackendKind::kLadder, cfg});
+      }
+    }
+    const auto out = metro::scenario::SweepRunner(args.jobs).run(geo_shards);
+    for (const auto& r : out) geo_runs.push_back(from_shard(r));
+    for (std::size_t i = 0; i < geo_runs.size(); ++i) {
+      if (!(geo_runs[i].counters == fs_ladder.counters)) {
+        geometry_diverged = true;
+        std::cerr << "GEOMETRY DIVERGENCE at buckets=" << geo_shards[i].config.ladder.buckets
+                  << " spill=" << geo_shards[i].config.ladder.bottom_spill
+                  << ": counters differ from the default-geometry run\n";
+      }
+      if (geo_runs[i].wall < geo_runs[geo_best].wall) geo_best = i;
+    }
   }
 
   const auto row = [&](const char* name, const ScenarioResult& r) {
@@ -602,6 +645,22 @@ int main(int argc, char** argv) {
               << (fullstack_diverged ? "  [COUNTERS DIVERGED]" : "  (identical counters)")
               << "\n";
   }
+  if (!geo_runs.empty()) {
+    std::cout << "\n  ladder geometry sweep (" << geo_runs.size()
+              << " grid points, buckets x bottom_spill, sort_threshold 32):\n";
+    for (std::size_t i = 0; i < geo_runs.size(); ++i) {
+      const auto& g = geo_shards[i].config.ladder;
+      std::cout << "    " << g.buckets << "/" << g.sort_threshold << "/" << g.bottom_spill
+                << ": wall " << metro::bench::num(geo_runs[i].wall) << " s, "
+                << metro::bench::num(geo_runs[i].pps / 1e6) << " M pkt/s"
+                << (i == geo_best ? "  <- best" : "") << "\n";
+    }
+    const auto& best = geo_shards[geo_best].config.ladder;
+    std::cout << "    best geometry: " << best.buckets << "/" << best.sort_threshold << "/"
+              << best.bottom_spill << " vs default-geometry wall "
+              << metro::bench::num(fs_ladder.wall) << " s"
+              << (geometry_diverged ? "  [COUNTERS DIVERGED]" : "") << "\n";
+  }
 
   std::ofstream json("BENCH_kernel.json");
   json << "{\n"
@@ -655,14 +714,36 @@ int main(int argc, char** argv) {
     json << "    \"ladder_vs_heap_speedup\": " << fs_heap.wall / fs_ladder.wall
          << ", \"counters_identical\": " << (fullstack_diverged ? "false" : "true") << "\n";
   }
-  json << "  },\n"
-       << "  \"fig13_multiqueue\": {\"backend\": \"heap\", \"simulated_packets_per_sec\": "
+  json << "  },\n";
+  if (!geo_runs.empty()) {
+    json << "  \"ladder_geometry_sweep\": {\n"
+         << "    \"scenario\": \"fig13_fullstack_perflow\",\n"
+         << "    \"grid\": [\n";
+    for (std::size_t i = 0; i < geo_runs.size(); ++i) {
+      const auto& g = geo_shards[i].config.ladder;
+      json << "      {\"buckets\": " << g.buckets << ", \"sort_threshold\": "
+           << g.sort_threshold << ", \"bottom_spill\": " << g.bottom_spill
+           << ", \"wall_seconds\": " << geo_runs[i].wall
+           << ", \"simulated_packets_per_sec\": " << geo_runs[i].pps << "}"
+           << (i + 1 < geo_runs.size() ? ",\n" : "\n");
+    }
+    const auto& best = geo_shards[geo_best].config.ladder;
+    json << "    ],\n"
+         << "    \"best\": {\"buckets\": " << best.buckets << ", \"sort_threshold\": "
+         << best.sort_threshold << ", \"bottom_spill\": " << best.bottom_spill
+         << ", \"wall_seconds\": " << geo_runs[geo_best].wall << "},\n"
+         << "    \"default_geometry_wall_seconds\": " << fs_ladder.wall << ",\n"
+         << "    \"counters_identical\": " << (geometry_diverged ? "false" : "true") << "\n"
+         << "  },\n";
+  }
+  json << "  \"fig13_multiqueue\": {\"backend\": \"heap\", \"simulated_packets_per_sec\": "
        << fig13_pps << ", \"events_per_sec\": " << fig13_eps
        << ", \"wall_seconds\": " << fig13_wall
        << ", \"simulated_throughput_mpps\": " << result.throughput_mpps << "}\n"
        << "}\n";
-  if (fullstack_diverged) {
-    std::cout << "\nwrote BENCH_kernel.json (BACKEND DIVERGENCE — failing)\n";
+  if (fullstack_diverged || geometry_diverged) {
+    std::cout << "\nwrote BENCH_kernel.json ("
+              << (fullstack_diverged ? "BACKEND" : "GEOMETRY") << " DIVERGENCE — failing)\n";
     return 1;
   }
   std::cout << "\nwrote BENCH_kernel.json\n";

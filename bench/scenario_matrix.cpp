@@ -1,0 +1,119 @@
+// Scenario matrix: every registered scenario on every enabled backend.
+//
+// Three jobs in one binary:
+//   1. *Coverage* — run the whole scenario registry (src/scenario/) so
+//      every workload shape (CBR, Poisson, IMIX, unbalanced, MMPP,
+//      Pareto trains, incast, trace replay, per-flow populations) is
+//      exercised end to end on every event-queue backend.
+//   2. *Cross-backend identity* — for each scenario the backends must
+//      produce identical packet counters AND an identical latency
+//      histogram (digest over the raw bins). Any divergence exits 1;
+//      CI runs this with --fast.
+//   3. *Sweep determinism* — the matrix is executed twice, on --jobs
+//      workers and again single-threaded, and the two merged JSON
+//      reports (timing excluded) must be byte-identical. A scheduling
+//      dependence in the runner or any shared mutable state in the app
+//      stack fails the bench.
+//
+// Writes the merged report (timing included) to BENCH_scenarios.json.
+#include <fstream>
+#include <map>
+
+#include "common.hpp"
+#include "scenario/registry.hpp"
+
+using namespace metro;
+using scenario::BackendKind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kBoth,
+                                      bench::default_jobs());
+
+  bench::header("Scenario matrix - all registered scenarios x event-queue backends",
+                "every workload shape must produce identical counters and latency "
+                "bins on both backends, and the sweep must merge identically for "
+                "any worker count");
+
+  scenario::SweepMatrix matrix;
+  for (const auto& s : scenario::all_scenarios()) matrix.scenarios.push_back(s.name);
+  matrix.backends = bench::backend_kinds(args.backend);
+  if (args.fast) {
+    // Identity holds for any window; short ones keep the CI step cheap.
+    matrix.warmup = 10 * sim::kMillisecond;
+    matrix.measure = 25 * sim::kMillisecond;
+  }
+
+  const auto shards = scenario::SweepRunner::expand(matrix);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = scenario::SweepRunner(args.jobs).run(shards);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  stats::Table table({"scenario", "backend", "rx", "tx", "dropped", "processed",
+                      "p50 lat (us)", "wall (s)"});
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& c = results[i].counters;
+    table.add_row({shards[i].scenario, scenario::backend_name(shards[i].backend),
+                   std::to_string(c.rx), std::to_string(c.tx), std::to_string(c.dropped),
+                   std::to_string(c.processed),
+                   bench::num(results[i].result.latency_us.median),
+                   bench::num(results[i].wall_seconds)});
+  }
+  table.print();
+  std::cout << "\n" << shards.size() << " shards on " << args.jobs << " job(s), elapsed "
+            << bench::num(elapsed, 2) << " s\n";
+
+  // --- cross-backend identity ------------------------------------------
+  bool diverged = false;
+  std::map<std::string, std::vector<std::size_t>> by_scenario;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    by_scenario[shards[i].scenario].push_back(i);
+  }
+  for (const auto& [name, idx] : by_scenario) {
+    for (std::size_t j = 1; j < idx.size(); ++j) {
+      const auto& a = results[idx[0]];
+      const auto& b = results[idx[j]];
+      if (!(a.counters == b.counters) || a.latency_digest != b.latency_digest ||
+          a.final_clock != b.final_clock) {
+        diverged = true;
+        std::cerr << "BACKEND DIVERGENCE in scenario '" << name << "': "
+                  << scenario::backend_name(shards[idx[0]].backend) << " (rx "
+                  << a.counters.rx << ", tx " << a.counters.tx << ", digest "
+                  << a.latency_digest << ") vs "
+                  << scenario::backend_name(shards[idx[j]].backend) << " (rx "
+                  << b.counters.rx << ", tx " << b.counters.tx << ", digest "
+                  << b.latency_digest << ")\n";
+      }
+    }
+  }
+  if (!diverged && matrix.backends.size() > 1) {
+    std::cout << "cross-backend check: all " << by_scenario.size()
+              << " scenarios identical across " << matrix.backends.size() << " backends\n";
+  }
+
+  // --- sweep determinism: jobs=N vs jobs=1 must merge identically ------
+  bool nondeterministic = false;
+  if (args.jobs > 1) {
+    const auto serial = scenario::SweepRunner(1).run(shards);
+    const std::string parallel_json = scenario::report_json(shards, results, false);
+    const std::string serial_json = scenario::report_json(shards, serial, false);
+    if (parallel_json != serial_json) {
+      nondeterministic = true;
+      std::cerr << "SWEEP NONDETERMINISM: merged report differs between --jobs="
+                << args.jobs << " and --jobs=1\n";
+    } else {
+      std::cout << "determinism check: --jobs=" << args.jobs
+                << " and --jobs=1 reports are byte-identical\n";
+    }
+  }
+
+  std::ofstream("BENCH_scenarios.json") << scenario::report_json(shards, results, true);
+  std::cout << "wrote BENCH_scenarios.json\n";
+  if (diverged || nondeterministic) {
+    std::cerr << "\nFAIL: " << (diverged ? "cross-backend divergence" : "")
+              << (diverged && nondeterministic ? " + " : "")
+              << (nondeterministic ? "nondeterministic sweep merge" : "") << "\n";
+    return 1;
+  }
+  return 0;
+}

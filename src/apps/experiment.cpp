@@ -1,16 +1,41 @@
 #include "apps/experiment.hpp"
 
 #include <cassert>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "net/pcap.hpp"
+#include "tgen/trace.hpp"
 
 namespace metro::apps {
 
 using sim::Time;
 
+namespace {
+
+/// Build the kTrace generator: synthesise the unbalanced trace, round-trip
+/// it through the pcap writer/reader (so the on-disk path is what runs,
+/// not a shortcut), parse, and replay at the configured rate.
+std::unique_ptr<tgen::Generator> make_trace_generator(const WorkloadConfig& w, Time duration) {
+  const auto frames =
+      tgen::synthesise_unbalanced_trace(w.trace.n_packets, w.trace.heavy_share, w.seed);
+  std::stringstream pcap_bytes;
+  net::PcapWriter writer(pcap_bytes);
+  for (const auto& frame : frames) writer.write(frame);
+  auto entries = tgen::parse_trace(net::PcapReader::read_all(pcap_bytes));
+  return std::make_unique<tgen::TraceGenerator>(std::move(entries), w.rate_mpps * 1e6, duration);
+}
+
+}  // namespace
+
 template <typename Sim>
 BasicTestbed<Sim>::BasicTestbed(const ExperimentConfig& cfg) : cfg_(cfg) {
-  sim_ = std::make_unique<Sim>(cfg.seed);
+  if constexpr (std::is_same_v<Sim, sim::LadderSimulation>) {
+    sim_ = std::make_unique<Sim>(cfg.seed, sim::LadderQueueBackend(cfg.ladder));
+  } else {
+    sim_ = std::make_unique<Sim>(cfg.seed);
+  }
 
   sim::CoreConfig core_cfg;
   core_cfg.governor = cfg.governor;
@@ -27,23 +52,65 @@ BasicTestbed<Sim>::BasicTestbed(const ExperimentConfig& cfg) : cfg_(cfg) {
                                                 nic::TxCallback(latency_recorder_));
 
   flows_ = std::make_unique<tgen::FlowSet>(cfg.workload.n_flows, cfg.workload.seed);
-  if (!cfg.workload.per_flow_sources) {
-    std::unique_ptr<tgen::FlowPicker> picker;
-    if (cfg.workload.heavy_share > 0.0) {
-      picker = std::make_unique<tgen::UnbalancedFlowPicker>(
-          0, cfg.workload.heavy_share, static_cast<std::uint32_t>(cfg.workload.n_flows));
-    } else {
-      picker = std::make_unique<tgen::UniformFlowPicker>(
-          static_cast<std::uint32_t>(cfg.workload.n_flows));
+  const Time gen_duration = cfg.warmup + cfg.measure + 100 * sim::kMillisecond;
+  const auto n_flows = static_cast<std::uint32_t>(cfg.workload.n_flows);
+  const auto uniform_picker = [n_flows] {
+    return std::make_unique<tgen::UniformFlowPicker>(n_flows);
+  };
+  switch (cfg.workload.model) {
+    case ArrivalModel::kPerFlow:
+      break;  // no pull generator; sources are spawned in start()
+    case ArrivalModel::kStream: {
+      std::unique_ptr<tgen::FlowPicker> picker;
+      if (cfg.workload.heavy_share > 0.0) {
+        picker = std::make_unique<tgen::UnbalancedFlowPicker>(0, cfg.workload.heavy_share,
+                                                              n_flows);
+      } else {
+        picker = uniform_picker();
+      }
+      tgen::StreamConfig stream;
+      stream.rate_pps = cfg.workload.rate_mpps * 1e6;
+      stream.wire_size = cfg.workload.wire_size;
+      stream.imix = cfg.workload.imix;
+      stream.poisson = cfg.workload.poisson;
+      stream.seed = cfg.workload.seed;
+      stream.duration = gen_duration;
+      generator_ = std::make_unique<tgen::StreamGenerator>(stream, *flows_, std::move(picker));
+      break;
     }
-    tgen::StreamConfig stream;
-    stream.rate_pps = cfg.workload.rate_mpps * 1e6;
-    stream.wire_size = cfg.workload.wire_size;
-    stream.imix = cfg.workload.imix;
-    stream.poisson = cfg.workload.poisson;
-    stream.seed = cfg.workload.seed;
-    stream.duration = cfg.warmup + cfg.measure + 100 * sim::kMillisecond;
-    generator_ = std::make_unique<tgen::StreamGenerator>(stream, *flows_, std::move(picker));
+    case ArrivalModel::kMmpp: {
+      tgen::MmppConfig mmpp;
+      mmpp.mean_rate_pps = cfg.workload.rate_mpps * 1e6;
+      mmpp.shape = cfg.workload.mmpp;
+      mmpp.wire_size = cfg.workload.wire_size;
+      mmpp.duration = gen_duration;
+      mmpp.seed = cfg.workload.seed;
+      generator_ = std::make_unique<tgen::MmppGenerator>(mmpp, *flows_, uniform_picker());
+      break;
+    }
+    case ArrivalModel::kParetoTrain: {
+      tgen::ParetoTrainConfig train;
+      train.rate_pps = cfg.workload.rate_mpps * 1e6;
+      train.shape = cfg.workload.pareto;
+      train.wire_size = cfg.workload.wire_size;
+      train.duration = gen_duration;
+      train.seed = cfg.workload.seed;
+      generator_ = std::make_unique<tgen::ParetoTrainGenerator>(train, *flows_);
+      break;
+    }
+    case ArrivalModel::kIncast: {
+      tgen::IncastConfig incast;
+      incast.rate_pps = cfg.workload.rate_mpps * 1e6;
+      incast.shape = cfg.workload.incast;
+      incast.wire_size = cfg.workload.wire_size;
+      incast.duration = gen_duration;
+      incast.seed = cfg.workload.seed;
+      generator_ = std::make_unique<tgen::IncastGenerator>(incast, *flows_);
+      break;
+    }
+    case ArrivalModel::kTrace:
+      generator_ = make_trace_generator(cfg.workload, gen_duration);
+      break;
   }
 }
 
@@ -56,7 +123,7 @@ void BasicTestbed<Sim>::start() {
   started_ = true;
 
   if (cfg_.workload.rate_mpps > 0.0) {
-    if (cfg_.workload.per_flow_sources) {
+    if (cfg_.workload.model == ArrivalModel::kPerFlow) {
       tgen::PerFlowSourceConfig src;
       src.total_rate_pps = cfg_.workload.rate_mpps * 1e6;
       src.poisson = cfg_.workload.poisson;

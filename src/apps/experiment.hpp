@@ -29,12 +29,49 @@
 #include "sim/simulation.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
+#include "tgen/bursty.hpp"
 #include "tgen/feeder.hpp"
 #include "tgen/generator.hpp"
 
 namespace metro::apps {
 
 enum class DriverKind { kMetronome, kStaticPolling, kXdp };
+
+/// Which arrival process drives the testbed (see tgen/). All models honour
+/// rate_mpps (the headline long-run rate), n_flows, wire_size and seed;
+/// model-specific knobs live in the matching shape struct below.
+enum class ArrivalModel {
+  /// CBR (or Poisson with `poisson`) through the grouped stream feeder —
+  /// the traditional figure path. Honours imix and heavy_share.
+  kStream,
+  /// One arrival process per flow instead of the grouped stream feeder:
+  /// n_flows concurrently pending timers — the large-population regime the
+  /// ladder backend targets (see tgen/feeder.hpp). Costs one event per
+  /// packet; leave off unless the pending population is the point.
+  /// Honours poisson (per-flow gaps); flows are uniform by construction,
+  /// so imix and heavy_share do not apply.
+  kPerFlow,
+  /// 2-state MMPP / ON-OFF bursty arrivals (tgen::MmppGenerator, `mmpp`).
+  kMmpp,
+  /// Heavy-tail flow-size mix: Pareto-sized back-to-back flow trains
+  /// (tgen::ParetoTrainGenerator, `pareto`).
+  kParetoTrain,
+  /// Synchronized incast epochs (tgen::IncastGenerator, `incast`).
+  kIncast,
+  /// Replay of a synthesised §V-F.4-style pcap trace, round-tripped
+  /// through net::PcapWriter/PcapReader (`trace`).
+  kTrace,
+};
+
+/// Parameters of the ArrivalModel::kTrace workload: the §V-F.4 unbalanced
+/// trace (n_packets frames, heavy_share of them one UDP flow), synthesised
+/// with the workload seed, persisted to pcap bytes and read back so the
+/// whole trace machinery is exercised, then replayed in a loop at
+/// rate_mpps.
+struct TraceReplayParams {
+  std::size_t n_packets = 1000;
+  double heavy_share = 0.3;
+};
 
 struct WorkloadConfig {
   double rate_mpps = 14.88;  // 10 GbE 64 B line rate
@@ -44,14 +81,12 @@ struct WorkloadConfig {
   std::size_t n_flows = 256;
   /// > 0: fraction of packets belonging to flow 0 (§V-F.4 unbalanced mix).
   double heavy_share = 0.0;
-  /// One arrival process per flow instead of the grouped stream feeder:
-  /// n_flows concurrently pending timers — the large-population regime the
-  /// ladder backend targets (see tgen/feeder.hpp). Costs one event per
-  /// packet; leave off unless the pending population is the point.
-  /// Honours rate_mpps, n_flows, poisson (per-flow gaps) and wire_size;
-  /// flows are uniform by construction, so imix and heavy_share do not
-  /// apply in this mode.
-  bool per_flow_sources = false;
+  /// The arrival process (see ArrivalModel).
+  ArrivalModel model = ArrivalModel::kStream;
+  tgen::MmppShape mmpp{};          ///< kMmpp knobs
+  tgen::ParetoTrainShape pareto{}; ///< kParetoTrain knobs
+  tgen::IncastShape incast{};      ///< kIncast knobs
+  TraceReplayParams trace{};       ///< kTrace knobs
   std::uint64_t seed = 42;
 };
 
@@ -72,6 +107,12 @@ struct ExperimentConfig {
   int n_cores = 3;
   sim::Governor governor = sim::Governor::kPerformance;
   int tx_batch = sim::calib::kTxBatchDefault;
+
+  /// Event-queue geometry used when the testbed is instantiated over the
+  /// ladder kernel (BasicTestbed<sim::LadderSimulation>); ignored on the
+  /// heap. Geometry only changes simulation speed, never the execution —
+  /// runs stay bit-identical across geometries (and backends).
+  sim::LadderConfig ladder{};
 
   WorkloadConfig workload{};
   CompetitorConfig competitor{};

@@ -1,0 +1,185 @@
+#include "scenario/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/seed_mix.hpp"
+
+namespace metro::scenario {
+
+const char* backend_name(BackendKind kind) noexcept {
+  return kind == BackendKind::kHeap ? "heap" : "ladder";
+}
+
+namespace {
+
+template <typename Sim>
+ShardResult run_shard_typed(const Shard& shard) {
+  const auto t0 = std::chrono::steady_clock::now();
+  apps::BasicTestbed<Sim> bed(shard.config);
+  bed.start();
+  bed.run_until(shard.config.warmup);
+  bed.begin_measurement();
+  ShardResult out;
+  out.pending_at_measure = bed.sim().pending_events();
+  bed.run_until(shard.config.warmup + shard.config.measure);
+  out.result = bed.finish_measurement();
+  out.counters = ShardCounters{bed.port().total_rx(), bed.port().total_dropped(),
+                               bed.port().tx().total_transmitted(), bed.packets_processed()};
+  out.events = bed.sim().events_processed();
+  out.final_clock = bed.sim().now();
+  const stats::Histogram& h = bed.latency_histogram();
+  out.latency_count = h.count();
+  // Order-sensitive digest over the raw bins (plus the overflow bin):
+  // identical distributions — bin for bin — are what cross-backend and
+  // cross-geometry identity means at the application level.
+  std::uint64_t digest = util::splitmix64(h.n_bins());
+  for (std::size_t i = 0; i < h.n_bins(); ++i) {
+    digest = util::splitmix64(digest ^ h.bin_count(i));
+  }
+  out.latency_digest = util::splitmix64(digest ^ h.overflow());
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return out;
+}
+
+ShardResult run_shard(const Shard& shard) {
+  if (shard.backend == BackendKind::kHeap) {
+    return run_shard_typed<sim::Simulation>(shard);
+  }
+  return run_shard_typed<sim::LadderSimulation>(shard);
+}
+
+// Deterministic double formatting: max_digits10 round-trips the exact
+// value, so equal doubles always print equal text.
+void put_double(std::ostream& os, double v) {
+  os << std::setprecision(17) << v << std::setprecision(6);
+}
+
+}  // namespace
+
+std::vector<Shard> SweepRunner::expand(const SweepMatrix& matrix) {
+  std::vector<Shard> shards;
+  std::uint64_t point_index = 0;
+  for (const auto& name : matrix.scenarios) {
+    const ScenarioSpec* spec = find_scenario(name);
+    if (spec == nullptr) {
+      throw std::invalid_argument("SweepRunner: unknown scenario '" + name + "'");
+    }
+    // Empty axes collapse to one implicit "scenario default" point.
+    const std::size_t n_rates = matrix.rates_mpps.empty() ? 1 : matrix.rates_mpps.size();
+    const std::size_t n_geoms =
+        matrix.ladder_geometries.empty() ? 1 : matrix.ladder_geometries.size();
+    for (std::size_t r = 0; r < n_rates; ++r) {
+      apps::ExperimentConfig cfg = spec->config;
+      if (!matrix.rates_mpps.empty()) cfg.workload.rate_mpps = matrix.rates_mpps[r];
+      if (matrix.warmup >= 0) cfg.warmup = matrix.warmup;
+      if (matrix.measure >= 0) cfg.measure = matrix.measure;
+      if (matrix.base_seed != 0) {
+        // A *point* is (scenario, rate): backends and ladder geometries of
+        // one point share the seed, because both are pure speed knobs —
+        // same point -> same execution is exactly what the divergence
+        // checks assert.
+        cfg.seed = util::mix_seed(matrix.base_seed, point_index);
+        cfg.workload.seed = util::mix_seed(cfg.seed, 1);
+      }
+      ++point_index;
+      for (const BackendKind backend : matrix.backends) {
+        // The geometry axis only means something to the ladder backend;
+        // expanding it for heap shards would just repeat bit-identical
+        // runs, so heap gets exactly one shard per point.
+        const std::size_t backend_geoms = backend == BackendKind::kLadder ? n_geoms : 1;
+        for (std::size_t g = 0; g < backend_geoms; ++g) {
+          if (backend == BackendKind::kLadder && !matrix.ladder_geometries.empty()) {
+            cfg.ladder = matrix.ladder_geometries[g];
+          }
+          shards.push_back(Shard{spec->name, backend, cfg});
+        }
+      }
+    }
+  }
+  return shards;
+}
+
+std::vector<ShardResult> SweepRunner::run(const std::vector<Shard>& shards) const {
+  std::vector<ShardResult> results(shards.size());
+  if (shards.empty()) return results;
+
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), shards.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < shards.size(); ++i) results[i] = run_shard(shards[i]);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shards.size()) return;
+      try {
+        results[i] = run_shard(shards[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::string report_json(const std::vector<Shard>& shards,
+                        const std::vector<ShardResult>& results, bool include_timing) {
+  std::ostringstream os;
+  os << "{\n  \"shards\": [\n";
+  for (std::size_t i = 0; i < shards.size() && i < results.size(); ++i) {
+    const Shard& s = shards[i];
+    const ShardResult& r = results[i];
+    os << "    {\"scenario\": \"" << s.scenario << "\", \"backend\": \""
+       << backend_name(s.backend) << "\", \"rate_mpps\": ";
+    put_double(os, s.config.workload.rate_mpps);
+    os << ", \"seed\": " << s.config.seed;
+    if (s.backend == BackendKind::kLadder) {
+      os << ", \"ladder\": {\"buckets\": " << s.config.ladder.buckets
+         << ", \"sort_threshold\": " << s.config.ladder.sort_threshold
+         << ", \"bottom_spill\": " << s.config.ladder.bottom_spill << "}";
+    }
+    os << ",\n     \"counters\": {\"rx\": " << r.counters.rx
+       << ", \"dropped\": " << r.counters.dropped << ", \"tx\": " << r.counters.tx
+       << ", \"processed\": " << r.counters.processed << "}"
+       << ", \"events\": " << r.events << ", \"pending_at_measure\": " << r.pending_at_measure
+       << ", \"final_clock_ns\": " << r.final_clock << ",\n     \"latency\": {\"count\": "
+       << r.latency_count << ", \"digest\": " << r.latency_digest << "}"
+       << ", \"throughput_mpps\": ";
+    put_double(os, r.result.throughput_mpps);
+    os << ", \"loss_permille\": ";
+    put_double(os, r.result.loss_permille);
+    os << ", \"cpu_percent\": ";
+    put_double(os, r.result.cpu_percent);
+    os << ", \"package_watts\": ";
+    put_double(os, r.result.package_watts);
+    if (include_timing) {
+      os << ", \"wall_seconds\": ";
+      put_double(os, r.wall_seconds);
+    }
+    os << "}" << (i + 1 < shards.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace metro::scenario

@@ -1,0 +1,107 @@
+/// \file sweep.hpp
+/// Parallel parameter-matrix sweep runner.
+///
+/// The paper's evaluation is a matrix — scenarios x backends x rates x
+/// queue geometries — and every figure bench used to walk its corner of
+/// that matrix serially. SweepRunner expands a matrix into independent
+/// *shards* (one complete Testbed run each: own BasicSimulation, own RNG,
+/// own results), executes them on a pool of std::thread workers, and
+/// merges the results in shard order.
+///
+/// Determinism contract: each shard is a pure function of its
+/// ExperimentConfig (seeds included), shards share no mutable state, and
+/// the merged result vector is indexed by shard order — so results (and
+/// the JSON report, timing fields aside) are bit-identical for any worker
+/// count. Per-shard seeds are derived with util::mix_seed from the matrix
+/// base seed and the *point* index (backend excluded), so the same point
+/// run on different backends — or different ladder geometries — gets the
+/// same seed and must produce the same execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/experiment.hpp"
+#include "scenario/registry.hpp"
+
+namespace metro::scenario {
+
+/// Which event-queue backend a shard runs on.
+enum class BackendKind { kHeap, kLadder };
+
+/// Stable display/JSON name of a backend.
+const char* backend_name(BackendKind kind) noexcept;
+
+/// One unit of sweep work: a complete experiment on one backend.
+struct Shard {
+  std::string scenario;  ///< label for reports (registry name or bench key)
+  BackendKind backend = BackendKind::kHeap;
+  apps::ExperimentConfig config;
+};
+
+/// Full-run packet counters: the cross-backend identity fingerprint.
+struct ShardCounters {
+  std::uint64_t rx = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t processed = 0;
+  bool operator==(const ShardCounters&) const = default;
+};
+
+/// Everything a shard run produces. All fields except wall_seconds are
+/// deterministic (pure functions of the shard's config).
+struct ShardResult {
+  ShardCounters counters;
+  std::uint64_t events = 0;            ///< kernel events over the whole run
+  std::size_t pending_at_measure = 0;  ///< pending events at measurement start
+  sim::Time final_clock = 0;
+  std::uint64_t latency_count = 0;     ///< latency histogram sample count
+  std::uint64_t latency_digest = 0;    ///< order-sensitive hash of the raw bins
+  apps::ExperimentResult result;       ///< measurement-window observables
+  double wall_seconds = 0.0;           ///< host time; NOT deterministic
+};
+
+/// A declarative parameter matrix over registered scenarios. Empty axis =
+/// "scenario default" (one implicit point on that axis).
+struct SweepMatrix {
+  std::vector<std::string> scenarios;   ///< registry names (see registry.hpp)
+  std::vector<BackendKind> backends = {BackendKind::kHeap};
+  std::vector<double> rates_mpps;       ///< offered-rate overrides
+  std::vector<sim::LadderConfig> ladder_geometries;  ///< ladder-shard geometry overrides
+  sim::Time warmup = -1;   ///< window override; < 0 keeps the scenario's
+  sim::Time measure = -1;  ///< window override; < 0 keeps the scenario's
+  /// != 0: derive per-point seeds as mix_seed(base_seed, point_index)
+  /// (backends of one point share the seed). 0 keeps scenario seeds.
+  std::uint64_t base_seed = 0;
+};
+
+/// Expands matrices and runs shard lists on a worker pool.
+class SweepRunner {
+ public:
+  /// \param jobs worker-thread count; <= 1 runs inline on the caller.
+  explicit SweepRunner(int jobs = 1) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+  /// Expand a matrix into shards, ordered scenario-major, then rate, with
+  /// the shards of one point adjacent: one heap shard (geometry means
+  /// nothing to it), then one ladder shard per geometry.
+  /// Throws std::invalid_argument on an unknown scenario name.
+  static std::vector<Shard> expand(const SweepMatrix& matrix);
+
+  /// Run every shard (in parallel up to the job count) and return results
+  /// in shard order. Results are bit-identical for any job count.
+  std::vector<ShardResult> run(const std::vector<Shard>& shards) const;
+
+  int jobs() const noexcept { return jobs_; }
+
+ private:
+  int jobs_;
+};
+
+/// Merge shards + results into one JSON report (shard order preserved).
+/// `include_timing` adds per-shard wall_seconds — the one nondeterministic
+/// field; leave it off when comparing reports across worker counts.
+std::string report_json(const std::vector<Shard>& shards,
+                        const std::vector<ShardResult>& results, bool include_timing);
+
+}  // namespace metro::scenario

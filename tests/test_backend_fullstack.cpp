@@ -115,7 +115,7 @@ TEST(BackendFullstackTest, PerFlowSourcesIdenticalAcrossBackends) {
   // The large-pending-population workload mode (one timer per flow) —
   // the regime the ladder backend targets — must also be trace-identical.
   auto cfg = small_metronome_config();
-  cfg.workload.per_flow_sources = true;
+  cfg.workload.model = ArrivalModel::kPerFlow;
   cfg.workload.n_flows = 2048;
   cfg.workload.rate_mpps = 10.0;
   cfg.measure = 15 * sim::kMillisecond;
@@ -129,7 +129,7 @@ TEST(BackendFullstackTest, LadderRunsFasterRegimeHasLargePopulation) {
   // Sanity-check the per-flow mode actually creates the pending population
   // it exists for (one armed timer per flow).
   auto cfg = small_metronome_config();
-  cfg.workload.per_flow_sources = true;
+  cfg.workload.model = ArrivalModel::kPerFlow;
   cfg.workload.n_flows = 2048;
   cfg.workload.rate_mpps = 10.0;
   cfg.warmup = sim::kMillisecond;

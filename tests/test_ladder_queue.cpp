@@ -18,6 +18,7 @@
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
+#include "util/seed_mix.hpp"
 
 namespace metro::sim {
 namespace {
@@ -281,8 +282,9 @@ TEST(LadderQueueTest, RandomisedMirrorAgainstHeap) {
       };
       Rng rng(seed);
       for (int i = 0; i < 128; ++i) {
+        const auto spawn_seed = util::mix_seed(seed, static_cast<std::uint64_t>(i));
         sim.schedule_at(static_cast<Time>(rng.uniform_u64(100'000)),
-                        Spawner{&sim, &trace, seed * 1000 + i, 60, i * 1000});
+                        Spawner{&sim, &trace, spawn_seed, 60, i * 1000});
       }
     });
   }

@@ -10,6 +10,7 @@
 #include "apps/experiment.hpp"
 #include "core/model.hpp"
 #include "stats/summary.hpp"
+#include "util/seed_mix.hpp"
 
 namespace metro {
 namespace {
@@ -26,7 +27,7 @@ FixedTimeoutRun run_fixed(int m, double ts_us, double tl_us, double rate_mpps, i
   for (int seed = 0; seed < seeds; ++seed) {
     apps::ExperimentConfig cfg;
     cfg.driver = apps::DriverKind::kMetronome;
-    cfg.seed = 100 + static_cast<std::uint64_t>(seed);
+    cfg.seed = util::mix_seed(100, static_cast<std::uint64_t>(seed));
     cfg.met.n_threads = m;
     cfg.n_cores = 3;
     cfg.met.adaptive = false;
