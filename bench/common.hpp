@@ -21,6 +21,11 @@
 //                         scenario::SweepRunner. Results are bit-identical
 //                         for any N; only wall time changes. Benches whose
 //                         headline *is* wall time default to 1.
+//   --trace=<file>        external pcap to replay through the kTrace
+//                         arrival model (bench_scenario_matrix); absent =
+//                         the synthesised §V-F.4 trace.
+//   --list                bench_scenario_matrix: print registered scenario
+//                         names, one per line, and exit 0.
 #pragma once
 
 #include <algorithm>
@@ -103,12 +108,37 @@ inline int jobs_flag(int argc, char** argv, int def) {
   return def;
 }
 
+/// --trace=<file> (empty when absent). The value is a path; existence is
+/// checked where it is opened, so a typo fails with a clear error there.
+inline std::string trace_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      const char* v = argv[i] + 8;
+      if (*v == '\0') {
+        std::cerr << "--trace needs a pcap path (--trace=<file>)\n";
+        std::exit(2);
+      }
+      return v;
+    }
+  }
+  return {};
+}
+
+inline bool list_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) return true;
+  }
+  return false;
+}
+
 /// The shared flag set, parsed once per bench (the one place --fast /
-/// --backend / --jobs spellings live).
+/// --backend / --jobs / --trace / --list spellings live).
 struct Args {
   bool fast = false;
   BackendChoice backend = BackendChoice::kBoth;
   int jobs = 1;
+  std::string trace;  ///< external pcap for kTrace scenarios; empty = synthesise
+  bool list = false;  ///< print registry names and exit (scenario_matrix)
 };
 
 inline Args parse_args(int argc, char** argv, BackendChoice def_backend,
@@ -117,6 +147,8 @@ inline Args parse_args(int argc, char** argv, BackendChoice def_backend,
   a.fast = fast_mode(argc, argv);
   a.backend = backend_choice(argc, argv, def_backend);
   a.jobs = jobs_flag(argc, argv, def_jobs);
+  a.trace = trace_flag(argc, argv);
+  a.list = list_flag(argc, argv);
   return a;
 }
 

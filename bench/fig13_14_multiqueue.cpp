@@ -6,10 +6,10 @@
 // The full app stack is generic over the event-queue backend, so the bench
 // takes --backend=heap|ladder|both (default both). With both enabled every
 // configuration runs on each backend and the bench *fails* (exit 1) if any
-// run's packet counters or latency-histogram digest diverge — the two
-// backends must produce the same execution, only at different simulation
-// speed (the tracked wall number lives in BENCH_kernel.json's
-// fig13_fullstack).
+// run's telemetry fingerprint diverges — every registered counter and
+// latency-histogram bin across every layer — because the two backends must
+// produce the same execution, only at different simulation speed (the
+// tracked wall number lives in BENCH_kernel.json's fig13_fullstack).
 //
 // The whole configuration matrix is expanded up front and executed by
 // scenario::SweepRunner on --jobs worker threads (default: half the
@@ -144,15 +144,17 @@ int main(int argc, char** argv) {
     for (std::size_t j = 1; j < idx.size(); ++j) {
       const ShardResult& a = results[idx[0]];
       const ShardResult& b = results[idx[j]];
-      if (!(a.counters == b.counters) || a.latency_digest != b.latency_digest) {
+      // Full telemetry identity: one fingerprint covers every counter,
+      // per-queue statistic and latency-histogram bin of the run.
+      if (a.fingerprint != b.fingerprint) {
         diverged = true;
         std::cerr << "BACKEND DIVERGENCE at " << key << ": "
                   << scenario::backend_name(shards[idx[0]].backend) << " (rx "
                   << a.counters.rx << ", tx " << a.counters.tx << ", drop "
-                  << a.counters.dropped << ", latency digest " << a.latency_digest << ") vs "
+                  << a.counters.dropped << ", fingerprint " << a.fingerprint << ") vs "
                   << scenario::backend_name(shards[idx[j]].backend) << " (rx "
                   << b.counters.rx << ", tx " << b.counters.tx << ", drop "
-                  << b.counters.dropped << ", latency digest " << b.latency_digest << ")\n";
+                  << b.counters.dropped << ", fingerprint " << b.fingerprint << ")\n";
       }
     }
   }
@@ -162,7 +164,7 @@ int main(int argc, char** argv) {
   }
   if (backends.size() > 1) {
     std::cout << "cross-backend check: all " << by_key.size()
-              << " configurations produced identical counters and latency digests on "
+              << " configurations produced identical telemetry fingerprints on "
               << backends.size() << " backends\n";
   }
   return 0;

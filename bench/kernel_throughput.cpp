@@ -61,6 +61,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
+#include "stats/json_writer.hpp"
 
 namespace legacy {
 
@@ -377,8 +378,10 @@ struct FullstackRun {
   double pps = 0.0;   // simulated packets / wall second
   double eps = 0.0;   // kernel events / wall second
   double throughput_mpps = 0.0;
-  // Cross-backend identity fingerprint — the same counter set
-  // bench_fig13_14_multiqueue checks (scenario::ShardCounters).
+  // Cross-backend identity: the full-telemetry fingerprint (every
+  // registered metric, the same check bench_fig13_14_multiqueue runs);
+  // counters kept for the divergence diagnostic print.
+  std::uint64_t fingerprint = 0;
   metro::scenario::ShardCounters counters;
   std::size_t pending = 0;  // pending events at measurement start
   bool ran = false;
@@ -390,17 +393,11 @@ FullstackRun from_shard(const metro::scenario::ShardResult& r) {
   out.pps = static_cast<double>(r.counters.processed) / out.wall;
   out.eps = static_cast<double>(r.events) / out.wall;
   out.throughput_mpps = r.result.throughput_mpps;
+  out.fingerprint = r.fingerprint;
   out.counters = r.counters;
   out.pending = r.pending_at_measure;
   out.ran = true;
   return out;
-}
-
-void emit_backend_run(std::ofstream& json, const char* key, const ScenarioResult& r,
-                      const Run& run, bool last) {
-  json << "      \"" << key << "\": {\"events_per_sec\": " << r.eps(run)
-       << ", \"wall_seconds\": " << run.wall
-       << ", \"speedup_vs_legacy\": " << r.speedup(run) << "}" << (last ? "\n" : ",\n");
 }
 
 }  // namespace
@@ -549,13 +546,15 @@ int main(int argc, char** argv) {
         from_shard(fs_results[i]);
   }
   bool fullstack_diverged = false;
-  if (fs_heap.ran && fs_ladder.ran && !(fs_heap.counters == fs_ladder.counters)) {
+  if (fs_heap.ran && fs_ladder.ran && fs_heap.fingerprint != fs_ladder.fingerprint) {
     fullstack_diverged = true;
     const auto& h = fs_heap.counters;
     const auto& l = fs_ladder.counters;
-    std::cerr << "BACKEND DIVERGENCE in fig13_fullstack: heap rx/drop/tx/processed " << h.rx
-              << "/" << h.dropped << "/" << h.tx << "/" << h.processed << " vs ladder " << l.rx
-              << "/" << l.dropped << "/" << l.tx << "/" << l.processed << "\n";
+    std::cerr << "BACKEND DIVERGENCE in fig13_fullstack (telemetry fingerprint "
+              << fs_heap.fingerprint << " vs " << fs_ladder.fingerprint
+              << "): heap rx/drop/tx/processed " << h.rx << "/" << h.dropped << "/" << h.tx
+              << "/" << h.processed << " vs ladder " << l.rx << "/" << l.dropped << "/" << l.tx
+              << "/" << l.processed << "\n";
   }
 
   // Ladder rung/spill geometry sweep (the ROADMAP open item): the
@@ -580,11 +579,11 @@ int main(int argc, char** argv) {
     const auto out = metro::scenario::SweepRunner(args.jobs).run(geo_shards);
     for (const auto& r : out) geo_runs.push_back(from_shard(r));
     for (std::size_t i = 0; i < geo_runs.size(); ++i) {
-      if (!(geo_runs[i].counters == fs_ladder.counters)) {
+      if (geo_runs[i].fingerprint != fs_ladder.fingerprint) {
         geometry_diverged = true;
         std::cerr << "GEOMETRY DIVERGENCE at buckets=" << geo_shards[i].config.ladder.buckets
                   << " spill=" << geo_shards[i].config.ladder.bottom_spill
-                  << ": counters differ from the default-geometry run\n";
+                  << ": telemetry differs from the default-geometry run\n";
       }
       if (geo_runs[i].wall < geo_runs[geo_best].wall) geo_best = i;
     }
@@ -642,7 +641,7 @@ int main(int argc, char** argv) {
   if (fs_heap.ran && fs_ladder.ran) {
     std::cout << "  fig13 fullstack, ladder vs heap: x"
               << metro::bench::num(fs_heap.wall / fs_ladder.wall) << " wall"
-              << (fullstack_diverged ? "  [COUNTERS DIVERGED]" : "  (identical counters)")
+              << (fullstack_diverged ? "  [TELEMETRY DIVERGED]" : "  (identical telemetry)")
               << "\n";
   }
   if (!geo_runs.empty()) {
@@ -659,88 +658,113 @@ int main(int argc, char** argv) {
     std::cout << "    best geometry: " << best.buckets << "/" << best.sort_threshold << "/"
               << best.bottom_spill << " vs default-geometry wall "
               << metro::bench::num(fs_ladder.wall) << " s"
-              << (geometry_diverged ? "  [COUNTERS DIVERGED]" : "") << "\n";
+              << (geometry_diverged ? "  [TELEMETRY DIVERGED]" : "") << "\n";
   }
 
-  std::ofstream json("BENCH_kernel.json");
-  json << "{\n"
-       << "  \"bench\": \"kernel_throughput\",\n"
-       << "  \"fast_mode\": " << (fast ? "true" : "false") << ",\n"
-       << "  \"backends\": [";
-  if (heap_on) json << "\"heap\"" << (ladder_on ? ", " : "");
-  if (ladder_on) json << "\"ladder\"";
-  json << "],\n"
-       << "  \"scenarios\": {\n";
-  const auto emit = [&json](const char* name, const ScenarioResult& r, bool last) {
-    json << "    \"" << name << "\": {\n"
-         << "      \"baseline_events_per_sec\": " << r.baseline_eps()
-         << ", \"baseline_raw_events_per_sec\": " << r.baseline_raw_eps()
-         << ", \"baseline_wall_seconds\": " << r.base.wall << ",\n";
-    if (r.heap.ran) emit_backend_run(json, "heap", r, r.heap, !r.ladder.ran);
-    if (r.ladder.ran) emit_backend_run(json, "ladder", r, r.ladder, true);
-    json << "    }" << (last ? "\n" : ",\n");
+  // Machine-readable artifact, emitted through the one JSON path
+  // (stats::JsonWriter). Field names unchanged from the hand-rolled
+  // schema except counters_identical -> telemetry_identical (the check is
+  // a full-telemetry fingerprint now, see docs/BENCHMARKS.md).
+  std::ofstream json_file("BENCH_kernel.json");
+  metro::stats::JsonWriter w(json_file);
+  w.begin_object();
+  w.kv("bench", "kernel_throughput");
+  w.kv("fast_mode", fast);
+  w.key("backends").begin_array();
+  if (heap_on) w.value("heap");
+  if (ladder_on) w.value("ladder");
+  w.end_array();
+  w.key("scenarios").begin_object();
+  const auto emit_backend_run = [&w](const char* key, const ScenarioResult& r, const Run& run) {
+    w.key(key).begin_object();
+    w.kv("events_per_sec", r.eps(run));
+    w.kv("wall_seconds", run.wall);
+    w.kv("speedup_vs_legacy", r.speedup(run));
+    w.end_object();
   };
-  emit("timer_churn", timer, false);
-  emit("coroutine_sleep", sleep, false);
-  emit("signal_timeout", signal, false);
-  emit("fig13_multiqueue_kernel", fig13k, true);
-  json << "  },\n"
-       << "  \"overall\": {\"baseline_events_per_sec\": " << overall_base;
+  const auto emit = [&](const char* name, const ScenarioResult& r) {
+    w.key(name).begin_object();
+    w.kv("baseline_events_per_sec", r.baseline_eps());
+    w.kv("baseline_raw_events_per_sec", r.baseline_raw_eps());
+    w.kv("baseline_wall_seconds", r.base.wall);
+    if (r.heap.ran) emit_backend_run("heap", r, r.heap);
+    if (r.ladder.ran) emit_backend_run("ladder", r, r.ladder);
+    w.end_object();
+  };
+  emit("timer_churn", timer);
+  emit("coroutine_sleep", sleep);
+  emit("signal_timeout", signal);
+  emit("fig13_multiqueue_kernel", fig13k);
+  w.end_object();
+  w.key("overall").begin_object();
+  w.kv("baseline_events_per_sec", overall_base);
   if (heap_on) {
-    json << ", \"heap_events_per_sec\": " << overall_heap
-         << ", \"heap_speedup\": " << overall_heap / overall_base;
+    w.kv("heap_events_per_sec", overall_heap);
+    w.kv("heap_speedup", overall_heap / overall_base);
   }
   if (ladder_on) {
-    json << ", \"ladder_events_per_sec\": " << overall_ladder
-         << ", \"ladder_speedup\": " << overall_ladder / overall_base;
+    w.kv("ladder_events_per_sec", overall_ladder);
+    w.kv("ladder_speedup", overall_ladder / overall_base);
   }
-  json << "},\n";
+  w.end_object();
   if (heap_on && ladder_on) {
-    json << "  \"fig13_kernel_ladder_vs_heap_speedup\": "
-         << fig13k.heap.wall / fig13k.ladder.wall << ",\n";
+    w.kv("fig13_kernel_ladder_vs_heap_speedup", fig13k.heap.wall / fig13k.ladder.wall);
   }
-  json << "  \"fig13_fullstack\": {\n"
-       << "    \"n_flows\": " << kFullstackFlows << ", \"per_flow_sources\": true,\n";
-  const auto emit_fs = [&json](const char* key, const FullstackRun& r, bool last) {
+  w.key("fig13_fullstack").begin_object();
+  w.kv("n_flows", static_cast<std::uint64_t>(kFullstackFlows));
+  w.kv("per_flow_sources", true);
+  const auto emit_fs = [&w](const char* key, const FullstackRun& r) {
     if (!r.ran) return;
-    json << "    \"" << key << "\": {\"simulated_packets_per_sec\": " << r.pps
-         << ", \"events_per_sec\": " << r.eps << ", \"wall_seconds\": " << r.wall
-         << ", \"simulated_throughput_mpps\": " << r.throughput_mpps
-         << ", \"pending_events\": " << r.pending << "}" << (last ? "\n" : ",\n");
+    w.key(key).begin_object();
+    w.kv("simulated_packets_per_sec", r.pps);
+    w.kv("events_per_sec", r.eps);
+    w.kv("wall_seconds", r.wall);
+    w.kv("simulated_throughput_mpps", r.throughput_mpps);
+    w.kv("pending_events", static_cast<std::uint64_t>(r.pending));
+    w.end_object();
   };
-  emit_fs("heap", fs_heap, !fs_ladder.ran);
-  emit_fs("ladder", fs_ladder, !(fs_heap.ran && fs_ladder.ran));
+  emit_fs("heap", fs_heap);
+  emit_fs("ladder", fs_ladder);
   if (fs_heap.ran && fs_ladder.ran) {
-    json << "    \"ladder_vs_heap_speedup\": " << fs_heap.wall / fs_ladder.wall
-         << ", \"counters_identical\": " << (fullstack_diverged ? "false" : "true") << "\n";
+    w.kv("ladder_vs_heap_speedup", fs_heap.wall / fs_ladder.wall);
+    w.kv("telemetry_identical", !fullstack_diverged);
   }
-  json << "  },\n";
+  w.end_object();
   if (!geo_runs.empty()) {
-    json << "  \"ladder_geometry_sweep\": {\n"
-         << "    \"scenario\": \"fig13_fullstack_perflow\",\n"
-         << "    \"grid\": [\n";
+    w.key("ladder_geometry_sweep").begin_object();
+    w.kv("scenario", "fig13_fullstack_perflow");
+    w.key("grid").begin_array();
     for (std::size_t i = 0; i < geo_runs.size(); ++i) {
       const auto& g = geo_shards[i].config.ladder;
-      json << "      {\"buckets\": " << g.buckets << ", \"sort_threshold\": "
-           << g.sort_threshold << ", \"bottom_spill\": " << g.bottom_spill
-           << ", \"wall_seconds\": " << geo_runs[i].wall
-           << ", \"simulated_packets_per_sec\": " << geo_runs[i].pps << "}"
-           << (i + 1 < geo_runs.size() ? ",\n" : "\n");
+      w.begin_object();
+      w.kv("buckets", static_cast<std::uint64_t>(g.buckets));
+      w.kv("sort_threshold", static_cast<std::uint64_t>(g.sort_threshold));
+      w.kv("bottom_spill", static_cast<std::uint64_t>(g.bottom_spill));
+      w.kv("wall_seconds", geo_runs[i].wall);
+      w.kv("simulated_packets_per_sec", geo_runs[i].pps);
+      w.end_object();
     }
+    w.end_array();
     const auto& best = geo_shards[geo_best].config.ladder;
-    json << "    ],\n"
-         << "    \"best\": {\"buckets\": " << best.buckets << ", \"sort_threshold\": "
-         << best.sort_threshold << ", \"bottom_spill\": " << best.bottom_spill
-         << ", \"wall_seconds\": " << geo_runs[geo_best].wall << "},\n"
-         << "    \"default_geometry_wall_seconds\": " << fs_ladder.wall << ",\n"
-         << "    \"counters_identical\": " << (geometry_diverged ? "false" : "true") << "\n"
-         << "  },\n";
+    w.key("best").begin_object();
+    w.kv("buckets", static_cast<std::uint64_t>(best.buckets));
+    w.kv("sort_threshold", static_cast<std::uint64_t>(best.sort_threshold));
+    w.kv("bottom_spill", static_cast<std::uint64_t>(best.bottom_spill));
+    w.kv("wall_seconds", geo_runs[geo_best].wall);
+    w.end_object();
+    w.kv("default_geometry_wall_seconds", fs_ladder.wall);
+    w.kv("telemetry_identical", !geometry_diverged);
+    w.end_object();
   }
-  json << "  \"fig13_multiqueue\": {\"backend\": \"heap\", \"simulated_packets_per_sec\": "
-       << fig13_pps << ", \"events_per_sec\": " << fig13_eps
-       << ", \"wall_seconds\": " << fig13_wall
-       << ", \"simulated_throughput_mpps\": " << result.throughput_mpps << "}\n"
-       << "}\n";
+  w.key("fig13_multiqueue").begin_object();
+  w.kv("backend", "heap");
+  w.kv("simulated_packets_per_sec", fig13_pps);
+  w.kv("events_per_sec", fig13_eps);
+  w.kv("wall_seconds", fig13_wall);
+  w.kv("simulated_throughput_mpps", result.throughput_mpps);
+  w.end_object();
+  w.end_object();
+  w.finish();
   if (fullstack_diverged || geometry_diverged) {
     std::cout << "\nwrote BENCH_kernel.json ("
               << (fullstack_diverged ? "BACKEND" : "GEOMETRY") << " DIVERGENCE — failing)\n";

@@ -6,8 +6,9 @@
 //      Pareto trains, incast, trace replay, per-flow populations) is
 //      exercised end to end on every event-queue backend.
 //   2. *Cross-backend identity* — for each scenario the backends must
-//      produce identical packet counters AND an identical latency
-//      histogram (digest over the raw bins). Any divergence exits 1;
+//      produce an identical telemetry fingerprint: every registered
+//      counter, summary and latency-histogram bin across every layer
+//      (stats::MetricSnapshot::fingerprint). Any divergence exits 1;
 //      CI runs this with --fast.
 //   3. *Sweep determinism* — the matrix is executed twice, on --jobs
 //      workers and again single-threaded, and the two merged JSON
@@ -15,8 +16,15 @@
 //      dependence in the runner or any shared mutable state in the app
 //      stack fails the bench.
 //
+// Extra flags (see common.hpp): --list prints the registered scenario
+// names one per line and exits 0; --trace=<file> replays an external
+// pcap through the kTrace scenarios instead of the synthesised §V-F.4
+// trace (identity checks still apply — a trace shard is as deterministic
+// as any other).
+//
 // Writes the merged report (timing included) to BENCH_scenarios.json.
 #include <fstream>
+#include <iostream>
 #include <map>
 
 #include "common.hpp"
@@ -28,11 +36,16 @@ using scenario::BackendKind;
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kBoth,
                                       bench::default_jobs());
+  if (args.list) {
+    // Greppable registry listing for scripts/CI: names only, one per line.
+    for (const auto& s : scenario::all_scenarios()) std::cout << s.name << "\n";
+    return 0;
+  }
 
   bench::header("Scenario matrix - all registered scenarios x event-queue backends",
-                "every workload shape must produce identical counters and latency "
-                "bins on both backends, and the sweep must merge identically for "
-                "any worker count");
+                "every workload shape must produce an identical full-telemetry "
+                "fingerprint on both backends, and the sweep must merge "
+                "identically for any worker count");
 
   scenario::SweepMatrix matrix;
   for (const auto& s : scenario::all_scenarios()) matrix.scenarios.push_back(s.name);
@@ -43,9 +56,31 @@ int main(int argc, char** argv) {
     matrix.measure = 25 * sim::kMillisecond;
   }
 
-  const auto shards = scenario::SweepRunner::expand(matrix);
+  auto shards = scenario::SweepRunner::expand(matrix);
+  if (!args.trace.empty()) {
+    // ROADMAP item: replay an *external* pcap through the kTrace arrival
+    // model. Only trace-model shards are affected; everything else runs
+    // its registered workload.
+    std::size_t patched = 0;
+    for (auto& s : shards) {
+      if (s.config.workload.model == apps::ArrivalModel::kTrace) {
+        s.config.workload.trace.path = args.trace;
+        ++patched;
+      }
+    }
+    std::cout << "external trace '" << args.trace << "' wired into " << patched
+              << " kTrace shard(s)\n\n";
+  }
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = scenario::SweepRunner(args.jobs).run(shards);
+  std::vector<scenario::ShardResult> results;
+  try {
+    results = scenario::SweepRunner(args.jobs).run(shards);
+  } catch (const std::exception& e) {
+    // A shard that cannot even be assembled (e.g. an unreadable --trace
+    // file) is a usage error, not a divergence: fail cleanly.
+    std::cerr << "shard failed: " << e.what() << "\n";
+    return 2;
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -73,16 +108,18 @@ int main(int argc, char** argv) {
     for (std::size_t j = 1; j < idx.size(); ++j) {
       const auto& a = results[idx[0]];
       const auto& b = results[idx[j]];
-      if (!(a.counters == b.counters) || a.latency_digest != b.latency_digest ||
-          a.final_clock != b.final_clock) {
+      // Full-set identity: the fingerprint covers every registered metric
+      // of every layer (the old hand-picked counter/digest comparison is
+      // a strict subset of it); final_clock covers the kernel clock.
+      if (a.fingerprint != b.fingerprint || a.final_clock != b.final_clock) {
         diverged = true;
         std::cerr << "BACKEND DIVERGENCE in scenario '" << name << "': "
                   << scenario::backend_name(shards[idx[0]].backend) << " (rx "
-                  << a.counters.rx << ", tx " << a.counters.tx << ", digest "
-                  << a.latency_digest << ") vs "
+                  << a.counters.rx << ", tx " << a.counters.tx << ", fingerprint "
+                  << a.fingerprint << ") vs "
                   << scenario::backend_name(shards[idx[j]].backend) << " (rx "
-                  << b.counters.rx << ", tx " << b.counters.tx << ", digest "
-                  << b.latency_digest << ")\n";
+                  << b.counters.rx << ", tx " << b.counters.tx << ", fingerprint "
+                  << b.fingerprint << ")\n";
       }
     }
   }
@@ -94,7 +131,15 @@ int main(int argc, char** argv) {
   // --- sweep determinism: jobs=N vs jobs=1 must merge identically ------
   bool nondeterministic = false;
   if (args.jobs > 1) {
-    const auto serial = scenario::SweepRunner(1).run(shards);
+    std::vector<scenario::ShardResult> serial;
+    try {
+      serial = scenario::SweepRunner(1).run(shards);
+    } catch (const std::exception& e) {
+      // Same error class as the parallel run (e.g. a --trace file that
+      // vanished between the two passes): fail cleanly, not terminate().
+      std::cerr << "shard failed on the serial determinism rerun: " << e.what() << "\n";
+      return 2;
+    }
     const std::string parallel_json = scenario::report_json(shards, results, false);
     const std::string serial_json = scenario::report_json(shards, serial, false);
     if (parallel_json != serial_json) {

@@ -1,6 +1,7 @@
 #include "apps/experiment.hpp"
 
 #include <cassert>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -14,16 +15,28 @@ using sim::Time;
 
 namespace {
 
-/// Build the kTrace generator: synthesise the unbalanced trace, round-trip
+/// Build the kTrace generator. With `trace.path` set, parse that external
+/// pcap; otherwise synthesise the §V-F.4 unbalanced trace and round-trip
 /// it through the pcap writer/reader (so the on-disk path is what runs,
-/// not a shortcut), parse, and replay at the configured rate.
+/// not a shortcut). Either way the entries replay in a loop at the
+/// configured rate.
 std::unique_ptr<tgen::Generator> make_trace_generator(const WorkloadConfig& w, Time duration) {
-  const auto frames =
-      tgen::synthesise_unbalanced_trace(w.trace.n_packets, w.trace.heavy_share, w.seed);
-  std::stringstream pcap_bytes;
-  net::PcapWriter writer(pcap_bytes);
-  for (const auto& frame : frames) writer.write(frame);
-  auto entries = tgen::parse_trace(net::PcapReader::read_all(pcap_bytes));
+  std::vector<tgen::TraceEntry> entries;
+  if (!w.trace.path.empty()) {
+    std::ifstream in(w.trace.path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open trace file: " + w.trace.path);
+    entries = tgen::parse_trace(net::PcapReader::read_all(in));
+    if (entries.empty()) {
+      throw std::runtime_error("trace file has no replayable IPv4 frames: " + w.trace.path);
+    }
+  } else {
+    const auto frames =
+        tgen::synthesise_unbalanced_trace(w.trace.n_packets, w.trace.heavy_share, w.seed);
+    std::stringstream pcap_bytes;
+    net::PcapWriter writer(pcap_bytes);
+    for (const auto& frame : frames) writer.write(frame);
+    entries = tgen::parse_trace(net::PcapReader::read_all(pcap_bytes));
+  }
   return std::make_unique<tgen::TraceGenerator>(std::move(entries), w.rate_mpps * 1e6, duration);
 }
 
@@ -178,7 +191,25 @@ void BasicTestbed<Sim>::start() {
     FerretConfig fc;
     fc.total_work = -1;  // continuous contention
     fc.nice = cfg_.competitor.nice;
-    spawn_ferret(*sim_, machine_->core(i), fc, "competitor-" + std::to_string(i));
+    competitors_.push_back(
+        spawn_ferret(*sim_, machine_->core(i), fc, "competitor-" + std::to_string(i)));
+  }
+
+  // Telemetry assembly: with every layer constructed, register the whole
+  // observable tree in one set. This is the only registration point —
+  // from here on the hot paths just increment their own fields, and the
+  // set snapshots/windows/fingerprints them.
+  port_->register_metrics(metrics_, "port");
+  metrics_.attach_histogram("latency_us", *latency_);
+  if (metronome_) metronome_->register_metrics(metrics_, "met");
+  for (std::size_t q = 0; q < polling_stats_.size(); ++q) {
+    polling_stats_[q]->register_metrics(metrics_, "polling.q" + std::to_string(q));
+  }
+  for (std::size_t q = 0; q < xdp_stats_.size(); ++q) {
+    xdp_stats_[q]->register_metrics(metrics_, "xdp.q" + std::to_string(q));
+  }
+  for (std::size_t i = 0; i < competitors_.size(); ++i) {
+    competitors_[i]->register_metrics(metrics_, "competitor." + std::to_string(i));
   }
 }
 
@@ -187,14 +218,14 @@ void BasicTestbed<Sim>::run_until(Time t) { sim_->run_until(t); }
 
 template <typename Sim>
 void BasicTestbed<Sim>::begin_measurement() {
+  assert(started_ && "begin_measurement() before start(): no metrics registered");
   window_start_ = sim_->now();
   machine_start_ = machine_->snapshot_all();  // settles all cores
   for (auto& e : driver_entities_) e.on_cpu_at_start = e.core->on_cpu_time(e.entity);
-  latency_->reset();
-  if (metronome_) metronome_->reset_stats();
-  rx_at_start_ = port_->total_rx();
-  drop_at_start_ = port_->total_dropped();
-  tx_at_start_ = port_->tx().total_transmitted();
+  // One call replaces the old per-counter *_at_start_ copies: counters
+  // baseline into the snapshot, distributions (latency histogram, per-
+  // queue vacation/busy summaries) reset to collect this window only.
+  window_baseline_ = metrics_.window_start();
 }
 
 template <typename Sim>
@@ -213,28 +244,45 @@ ExperimentResult BasicTestbed<Sim>::finish_measurement() {
   }
   r.cpu_percent = 100.0 * on_cpu_sum / static_cast<double>(window);
 
+  // Everything below is a read-out of the telemetry window: counters as
+  // deltas against the begin_measurement() baseline, distributions as the
+  // window-local values the baseline reset.
+  const stats::MetricSnapshot d = metrics_.delta(window_baseline_);
+
   const double window_s = sim::to_seconds(window);
-  const std::uint64_t rx = port_->total_rx() - rx_at_start_;
-  const std::uint64_t drops = port_->total_dropped() - drop_at_start_;
-  const std::uint64_t tx = port_->tx().total_transmitted() - tx_at_start_;
+  const std::uint64_t rx = d.counter("port.rx");
+  std::uint64_t drops = d.counter("port.cap_drops");
+  for (int q = 0; q < port_->n_rx_queues(); ++q) {
+    drops += d.counter("port.q" + std::to_string(q) + ".dropped");
+  }
+  const std::uint64_t tx = d.counter("port.tx.transmitted");
   r.offered_mpps = cfg_.workload.rate_mpps;
   r.throughput_mpps = static_cast<double>(tx) / window_s / 1e6;
   r.loss_permille = rx > 0 ? 1000.0 * static_cast<double>(drops) / static_cast<double>(rx) : 0.0;
-  r.latency_us = latency_->boxplot();
+  r.latency_us = d.histogram("latency_us").boxplot();
 
   if (metronome_) {
     r.rho = metronome_->mean_rho();
-    r.busy_tries_pct = 100.0 * metronome_->busy_try_fraction();
     r.ts_us = metronome_->mean_ts_us();
-    r.wakeups = metronome_->total_tries();
+    std::uint64_t tries = 0;
+    std::uint64_t busy = 0;
     for (int q = 0; q < metronome_->n_queues(); ++q) {
-      const auto& qs = metronome_->queue_state(q);
-      r.vacation_us.merge(qs.vacation_us);
-      r.busy_us.merge(qs.busy_us);
-      r.nv.merge(qs.nv);
-      r.queues.push_back(ExperimentResult::QueueDetail{100.0 * qs.busy_try_fraction(),
-                                                       qs.total_tries, qs.rho.value()});
+      const std::string base = "met.q" + std::to_string(q);
+      const std::uint64_t q_tries = d.counter(base + ".total_tries");
+      const std::uint64_t q_busy = d.counter(base + ".busy_tries");
+      tries += q_tries;
+      busy += q_busy;
+      r.vacation_us.merge(d.summary(base + ".vacation_us"));
+      r.busy_us.merge(d.summary(base + ".busy_us"));
+      r.nv.merge(d.summary(base + ".nv"));
+      const double pct =
+          q_tries ? 100.0 * static_cast<double>(q_busy) / static_cast<double>(q_tries) : 0.0;
+      r.queues.push_back(ExperimentResult::QueueDetail{
+          pct, q_tries, metronome_->queue_state(q).rho.value()});
     }
+    r.busy_tries_pct =
+        tries ? 100.0 * static_cast<double>(busy) / static_cast<double>(tries) : 0.0;
+    r.wakeups = tries;
   }
   return r;
 }

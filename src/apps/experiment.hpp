@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "apps/ferret.hpp"
@@ -28,6 +29,7 @@
 #include "sim/cpu.hpp"
 #include "sim/simulation.hpp"
 #include "stats/histogram.hpp"
+#include "stats/metric_set.hpp"
 #include "stats/summary.hpp"
 #include "tgen/bursty.hpp"
 #include "tgen/feeder.hpp"
@@ -63,14 +65,17 @@ enum class ArrivalModel {
   kTrace,
 };
 
-/// Parameters of the ArrivalModel::kTrace workload: the §V-F.4 unbalanced
-/// trace (n_packets frames, heavy_share of them one UDP flow), synthesised
-/// with the workload seed, persisted to pcap bytes and read back so the
-/// whole trace machinery is exercised, then replayed in a loop at
-/// rate_mpps.
+/// Parameters of the ArrivalModel::kTrace workload. By default the §V-F.4
+/// unbalanced trace (n_packets frames, heavy_share of them one UDP flow)
+/// is synthesised with the workload seed, persisted to pcap bytes and
+/// read back so the whole trace machinery is exercised, then replayed in
+/// a loop at rate_mpps. When `path` names an *external* pcap file, that
+/// file is parsed and replayed instead (n_packets/heavy_share ignored);
+/// an unreadable file or one with no replayable IPv4 frames throws.
 struct TraceReplayParams {
   std::size_t n_packets = 1000;
   double heavy_share = 0.3;
+  std::string path;  ///< external pcap to replay; empty = synthesise
 };
 
 struct WorkloadConfig {
@@ -122,6 +127,10 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
 };
 
+/// The measurement-window observables every figure/table bench reads.
+/// Since the telemetry refactor this is a *view*: finish_measurement()
+/// derives every field from the testbed's MetricSet window delta
+/// (BasicTestbed::telemetry()), not from hand-copied counters.
 struct ExperimentResult {
   double offered_mpps = 0.0;
   double throughput_mpps = 0.0;
@@ -166,6 +175,14 @@ class BasicTestbed {
   /// The end-to-end latency histogram backing the result boxplot
   /// (microseconds; cross-backend identity checks compare its raw bins).
   const stats::Histogram& latency_histogram() const { return *latency_; }
+
+  /// The testbed's full telemetry set: every layer's observables (port +
+  /// per-ring counters, driver/per-queue Metronome statistics, competitor
+  /// progress, the latency histogram) registered in one place. Populated
+  /// by start(); snapshot/fingerprint it for cross-backend identity, or
+  /// read the measurement window through begin/finish_measurement().
+  const stats::MetricSet& telemetry() const { return metrics_; }
+  stats::MetricSet& telemetry() { return metrics_; }
 
   /// Spawn the configured driver + workload + competitors.
   void start();
@@ -214,13 +231,16 @@ class BasicTestbed {
   std::vector<std::unique_ptr<dpdk::DriverStats>> polling_stats_;
   std::vector<std::unique_ptr<dpdk::XdpStats>> xdp_stats_;
   std::vector<EntitySnapshot> driver_entities_;
+  std::vector<std::shared_ptr<FerretResult>> competitors_;
 
-  // measurement window state
+  // Telemetry: every layer registers here (start()); the measurement
+  // window is a MetricSet window, not per-counter *_at_start_ copies.
+  stats::MetricSet metrics_;
+  stats::MetricSnapshot window_baseline_;
+
+  // measurement window state (scheduler side)
   sim::Time window_start_ = 0;
   std::vector<typename Core::Snapshot> machine_start_;
-  std::uint64_t rx_at_start_ = 0;
-  std::uint64_t drop_at_start_ = 0;
-  std::uint64_t tx_at_start_ = 0;
 
   // window_cpu_percent() state
   sim::Time cpu_probe_at_ = 0;

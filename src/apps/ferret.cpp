@@ -19,6 +19,7 @@ sim::Task ferret_task(Sim& sim, sim::BasicCore<Sim>& core,
     const sim::Time chunk = remaining < cfg.chunk ? remaining : cfg.chunk;
     co_await core.run_for(ent, chunk);
     remaining -= chunk;
+    ++result->chunks_done;
   }
   result->finished = sim.now();
 }

@@ -14,14 +14,23 @@
 
 #include "sim/cpu.hpp"
 #include "sim/simulation.hpp"
+#include "stats/metric_set.hpp"
 
 namespace metro::apps {
 
 struct FerretResult {
   sim::Time started = 0;
   sim::Time finished = -1;  // -1 while still running
+  /// CPU chunks completed so far (progress of a finite-work ferret;
+  /// stays 0 for the continuous-contention mode, which never chunks).
+  std::uint64_t chunks_done = 0;
   bool done() const noexcept { return finished >= 0; }
   double elapsed_seconds() const { return done() ? sim::to_seconds(finished - started) : -1.0; }
+
+  /// Attach the worker's progress counter to `set` under `prefix`.
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    set.attach_counter(prefix + ".chunks_done", chunks_done);
+  }
 };
 
 struct FerretConfig {

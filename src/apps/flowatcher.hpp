@@ -14,6 +14,7 @@
 #include "net/flow.hpp"
 #include "net/packet.hpp"
 #include "stats/histogram.hpp"
+#include "stats/metric_set.hpp"
 #include "stats/summary.hpp"
 
 namespace metro::apps {
@@ -56,6 +57,15 @@ class FloWatcher {
 
   /// Top-k flows by packet count.
   std::vector<HeavyHitter> heavy_hitters(std::size_t k) const;
+
+  /// Attach the monitor's aggregate observables to `set` under `prefix`
+  /// (packet/byte/non-IP counters and the size histogram; setup only).
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    set.attach_counter(prefix + ".packets", total_packets_);
+    set.attach_counter(prefix + ".bytes", total_bytes_);
+    set.attach_counter(prefix + ".non_ip", non_ip_);
+    set.attach_histogram(prefix + ".size_bytes", size_hist_);
+  }
 
  private:
   struct Hasher {

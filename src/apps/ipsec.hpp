@@ -19,6 +19,7 @@
 #include "net/headers.hpp"
 #include "net/packet.hpp"
 #include "sim/rng.hpp"
+#include "stats/metric_set.hpp"
 
 namespace metro::apps {
 
@@ -36,6 +37,15 @@ struct IpsecStats {
   std::uint64_t auth_failures = 0;
   std::uint64_t malformed = 0;
   std::uint64_t replay_drops = 0;
+
+  /// Attach all counters to `set` under `prefix` (setup only).
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    set.attach_counter(prefix + ".encapsulated", encapsulated);
+    set.attach_counter(prefix + ".decapsulated", decapsulated);
+    set.attach_counter(prefix + ".auth_failures", auth_failures);
+    set.attach_counter(prefix + ".malformed", malformed);
+    set.attach_counter(prefix + ".replay_drops", replay_drops);
+  }
 };
 
 class IpsecGateway {

@@ -20,6 +20,7 @@
 #include "net/lpm.hpp"
 #include "net/packet.hpp"
 #include "net/packet_builder.hpp"
+#include "stats/metric_set.hpp"
 
 namespace metro::apps {
 
@@ -36,6 +37,18 @@ struct L3fwdStats {
   std::uint64_t forwarded = 0;
   std::uint64_t dropped = 0;
   std::array<std::uint64_t, 6> drop_reason{};  // indexed by L3fwdDrop
+
+  /// Attach all counters (per-reason drops included) to `set` under
+  /// `prefix` (setup only).
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    static constexpr const char* kReason[6] = {"none",       "not_ipv4", "bad_checksum",
+                                               "ttl_expired", "no_route", "malformed"};
+    set.attach_counter(prefix + ".forwarded", forwarded);
+    set.attach_counter(prefix + ".dropped", dropped);
+    for (std::size_t i = 1; i < drop_reason.size(); ++i) {
+      set.attach_counter(prefix + ".drop." + kReason[i], drop_reason[i]);
+    }
+  }
 };
 
 class L3Forwarder {

@@ -170,6 +170,21 @@ double BasicMetronome<Sim>::mean_ts_us() const {
 }
 
 template <typename Sim>
+void BasicMetronome<Sim>::register_metrics(stats::MetricSet& set, const std::string& prefix) {
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    const std::string base = prefix + ".q" + std::to_string(q);
+    QueueState& qs = *queues_[q];
+    set.attach_counter(base + ".total_tries", qs.total_tries);
+    set.attach_counter(base + ".busy_tries", qs.busy_tries);
+    set.attach_counter(base + ".lock_successes", qs.lock_successes);
+    set.attach_counter(base + ".packets", qs.packets);
+    set.attach_summary(base + ".vacation_us", qs.vacation_us);
+    set.attach_summary(base + ".busy_us", qs.busy_us);
+    set.attach_summary(base + ".nv", qs.nv);
+  }
+}
+
+template <typename Sim>
 void BasicMetronome<Sim>::reset_stats() {
   for (auto& q : queues_) {
     q->total_tries = 0;

@@ -29,6 +29,7 @@
 #include "sim/simulation.hpp"
 #include "sim/sleep_service.hpp"
 #include "stats/histogram.hpp"
+#include "stats/metric_set.hpp"
 #include "stats/summary.hpp"
 
 namespace metro::core {
@@ -129,7 +130,15 @@ class BasicMetronome {
   double mean_ts_us() const;
 
   /// Clear counters and summaries after warm-up (keeps rho estimates).
+  /// The experiment harness no longer needs this — it windows the
+  /// registered metrics instead — but standalone users still can.
   void reset_stats();
+
+  /// Attach every per-queue observable to `set`: `<prefix>.qN.total_tries`
+  /// / `.busy_tries` / `.lock_successes` / `.packets` counters and the
+  /// `.vacation_us` / `.busy_us` / `.nv` summaries. Setup only; the
+  /// thread loop keeps its plain increments.
+  void register_metrics(stats::MetricSet& set, const std::string& prefix);
 
   /// (core, entity) of every thread, for CPU-usage accounting.
   struct ThreadRef {

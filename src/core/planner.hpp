@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cmath>
+#include <string>
 
 #include "core/model.hpp"
 #include "sim/calibration.hpp"
 #include "sim/time.hpp"
+#include "stats/metric_set.hpp"
 
 namespace metro::core {
 
@@ -43,6 +45,22 @@ struct PlannerOutput {
   /// release: one full vacation plus the time to drain the backlog ahead
   /// of it (§IV-D's worst-case argument), ignoring scheduling tails.
   double worst_case_delay_us = 0.0;
+
+  /// Attach every predicted observable as a gauge under `prefix`, so a
+  /// plan can be snapshotted, fingerprinted and reported through the same
+  /// telemetry path as the measured sets it predicts. (Don't *merge*
+  /// plan snapshots: gauges add under merge, and predictions like rho or
+  /// cpu_percent are intensive — sum is meaningless for them.)
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    set.attach_gauge(prefix + ".rho", rho);
+    set.attach_gauge(prefix + ".ts_us", ts_us);
+    set.attach_gauge(prefix + ".mean_vacation_us", mean_vacation_us);
+    set.attach_gauge(prefix + ".mean_busy_us", mean_busy_us);
+    set.attach_gauge(prefix + ".nv", nv);
+    set.attach_gauge(prefix + ".wakeups_per_sec", wakeups_per_sec);
+    set.attach_gauge(prefix + ".cpu_percent", cpu_percent);
+    set.attach_gauge(prefix + ".worst_case_delay_us", worst_case_delay_us);
+  }
 };
 
 inline PlannerOutput plan(const PlannerInput& in) {

@@ -35,6 +35,13 @@ struct DriverStats {
   std::uint64_t packets_processed = 0;
   std::uint64_t polls = 0;
   std::uint64_t empty_polls = 0;
+
+  /// Attach all counters to `set` under `prefix` (setup only).
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    set.attach_counter(prefix + ".packets", packets_processed);
+    set.attach_counter(prefix + ".polls", polls);
+    set.attach_counter(prefix + ".empty_polls", empty_polls);
+  }
 };
 
 /// Spawn a static-polling lcore bound to `queue` of `port`, running on

@@ -33,6 +33,13 @@ struct XdpStats {
   std::uint64_t interrupts = 0;
   std::uint64_t napi_polls = 0;
   std::uint64_t packets_processed = 0;
+
+  /// Attach all counters to `set` under `prefix` (setup only).
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    set.attach_counter(prefix + ".interrupts", interrupts);
+    set.attach_counter(prefix + ".napi_polls", napi_polls);
+    set.attach_counter(prefix + ".packets", packets_processed);
+  }
 };
 
 /// Spawn the IRQ+NAPI handler for `queue` of `port` on `core`. Generic

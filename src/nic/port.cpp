@@ -86,6 +86,16 @@ std::uint64_t BasicPort<Sim>::total_dropped() const {
   return drops;
 }
 
+template <typename Sim>
+void BasicPort<Sim>::register_metrics(stats::MetricSet& set, const std::string& prefix) {
+  set.attach_counter(prefix + ".rx", total_rx_);
+  set.attach_counter(prefix + ".cap_drops", cap_drops_);
+  for (std::size_t q = 0; q < rx_.size(); ++q) {
+    rx_[q]->register_metrics(set, prefix + ".q" + std::to_string(q));
+  }
+  tx_ring_.register_metrics(set, prefix + ".tx");
+}
+
 template class BasicPort<sim::Simulation>;
 template class BasicPort<sim::LadderSimulation>;
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nic/rings.hpp"
@@ -62,6 +63,12 @@ class BasicPort {
   std::uint64_t total_rx() const noexcept { return total_rx_; }
   std::uint64_t total_dropped() const;
   std::uint64_t device_cap_drops() const noexcept { return cap_drops_; }
+
+  /// Attach the port's whole counter tree to `set` under `prefix`:
+  /// `<prefix>.rx`, `<prefix>.cap_drops`, per-queue
+  /// `<prefix>.qN.received/.dropped` and `<prefix>.tx.transmitted`.
+  /// Registration only — the data path is untouched.
+  void register_metrics(stats::MetricSet& set, const std::string& prefix);
 
  private:
   Sim& sim_;

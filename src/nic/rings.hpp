@@ -32,6 +32,7 @@
 
 #include "nic/sim_packet.hpp"
 #include "sim/simulation.hpp"
+#include "stats/metric_set.hpp"
 #include "util/function_ref.hpp"
 
 namespace metro::nic {
@@ -99,6 +100,13 @@ class BasicRxRing {
   /// per-poll events. Wait only with the ring drained (all drivers do).
   sim::BasicSignal<Sim>& arrival_signal() noexcept { return arrival_signal_; }
 
+  /// Attach this ring's counters to `set` under `prefix` (setup only; the
+  /// hot path keeps its plain increments).
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    set.attach_counter(prefix + ".received", received_);
+    set.attach_counter(prefix + ".dropped", dropped_);
+  }
+
  private:
   std::size_t capacity_;  // logical capacity (full threshold)
   std::size_t mask_;      // storage size - 1 (power of two)
@@ -145,6 +153,11 @@ class BasicTxRing {
   std::size_t pending() const noexcept { return pending_.size(); }
   std::uint64_t total_transmitted() const noexcept { return transmitted_; }
   int batch_threshold() const noexcept { return batch_; }
+
+  /// Attach this ring's counters to `set` under `prefix` (setup only).
+  void register_metrics(stats::MetricSet& set, const std::string& prefix) {
+    set.attach_counter(prefix + ".transmitted", transmitted_);
+  }
 
  private:
   Sim& sim_;

@@ -4,12 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <iomanip>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "stats/json_writer.hpp"
 #include "util/seed_mix.hpp"
 
 namespace metro::scenario {
@@ -31,20 +31,22 @@ ShardResult run_shard_typed(const Shard& shard) {
   out.pending_at_measure = bed.sim().pending_events();
   bed.run_until(shard.config.warmup + shard.config.measure);
   out.result = bed.finish_measurement();
-  out.counters = ShardCounters{bed.port().total_rx(), bed.port().total_dropped(),
-                               bed.port().tx().total_transmitted(), bed.packets_processed()};
+  // The full telemetry set *is* the shard's observable state: snapshot it
+  // once, fingerprint it (order-sensitive over every counter, summary and
+  // histogram bin — what cross-backend / cross-geometry identity means),
+  // and derive the headline counter view from the same snapshot.
+  out.telemetry = bed.telemetry().snapshot();
+  out.fingerprint = out.telemetry.fingerprint();
+  std::uint64_t dropped = out.telemetry.counter("port.cap_drops");
+  for (int q = 0; q < bed.port().n_rx_queues(); ++q) {
+    dropped += out.telemetry.counter("port.q" + std::to_string(q) + ".dropped");
+  }
+  out.counters = ShardCounters{out.telemetry.counter("port.rx"), dropped,
+                               out.telemetry.counter("port.tx.transmitted"),
+                               bed.packets_processed()};
   out.events = bed.sim().events_processed();
   out.final_clock = bed.sim().now();
-  const stats::Histogram& h = bed.latency_histogram();
-  out.latency_count = h.count();
-  // Order-sensitive digest over the raw bins (plus the overflow bin):
-  // identical distributions — bin for bin — are what cross-backend and
-  // cross-geometry identity means at the application level.
-  std::uint64_t digest = util::splitmix64(h.n_bins());
-  for (std::size_t i = 0; i < h.n_bins(); ++i) {
-    digest = util::splitmix64(digest ^ h.bin_count(i));
-  }
-  out.latency_digest = util::splitmix64(digest ^ h.overflow());
+  out.latency_count = out.telemetry.histogram("latency_us").count();
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return out;
@@ -55,12 +57,6 @@ ShardResult run_shard(const Shard& shard) {
     return run_shard_typed<sim::Simulation>(shard);
   }
   return run_shard_typed<sim::LadderSimulation>(shard);
-}
-
-// Deterministic double formatting: max_digits10 round-trips the exact
-// value, so equal doubles always print equal text.
-void put_double(std::ostream& os, double v) {
-  os << std::setprecision(17) << v << std::setprecision(6);
 }
 
 }  // namespace
@@ -142,43 +138,61 @@ std::vector<ShardResult> SweepRunner::run(const std::vector<Shard>& shards) cons
   return results;
 }
 
+stats::MetricSnapshot merge_telemetry(const std::vector<ShardResult>& results) {
+  stats::MetricSnapshot total;
+  for (const ShardResult& r : results) total.merge(r.telemetry);
+  return total;
+}
+
 std::string report_json(const std::vector<Shard>& shards,
                         const std::vector<ShardResult>& results, bool include_timing) {
   std::ostringstream os;
-  os << "{\n  \"shards\": [\n";
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.key("shards").begin_array();
   for (std::size_t i = 0; i < shards.size() && i < results.size(); ++i) {
     const Shard& s = shards[i];
     const ShardResult& r = results[i];
-    os << "    {\"scenario\": \"" << s.scenario << "\", \"backend\": \""
-       << backend_name(s.backend) << "\", \"rate_mpps\": ";
-    put_double(os, s.config.workload.rate_mpps);
-    os << ", \"seed\": " << s.config.seed;
+    w.begin_object();
+    w.kv("scenario", s.scenario);
+    w.kv("backend", backend_name(s.backend));
+    w.kv("rate_mpps", s.config.workload.rate_mpps);
+    w.kv("seed", s.config.seed);
     if (s.backend == BackendKind::kLadder) {
-      os << ", \"ladder\": {\"buckets\": " << s.config.ladder.buckets
-         << ", \"sort_threshold\": " << s.config.ladder.sort_threshold
-         << ", \"bottom_spill\": " << s.config.ladder.bottom_spill << "}";
+      w.key("ladder").begin_object();
+      w.kv("buckets", static_cast<std::uint64_t>(s.config.ladder.buckets));
+      w.kv("sort_threshold", static_cast<std::uint64_t>(s.config.ladder.sort_threshold));
+      w.kv("bottom_spill", static_cast<std::uint64_t>(s.config.ladder.bottom_spill));
+      w.end_object();
     }
-    os << ",\n     \"counters\": {\"rx\": " << r.counters.rx
-       << ", \"dropped\": " << r.counters.dropped << ", \"tx\": " << r.counters.tx
-       << ", \"processed\": " << r.counters.processed << "}"
-       << ", \"events\": " << r.events << ", \"pending_at_measure\": " << r.pending_at_measure
-       << ", \"final_clock_ns\": " << r.final_clock << ",\n     \"latency\": {\"count\": "
-       << r.latency_count << ", \"digest\": " << r.latency_digest << "}"
-       << ", \"throughput_mpps\": ";
-    put_double(os, r.result.throughput_mpps);
-    os << ", \"loss_permille\": ";
-    put_double(os, r.result.loss_permille);
-    os << ", \"cpu_percent\": ";
-    put_double(os, r.result.cpu_percent);
-    os << ", \"package_watts\": ";
-    put_double(os, r.result.package_watts);
-    if (include_timing) {
-      os << ", \"wall_seconds\": ";
-      put_double(os, r.wall_seconds);
-    }
-    os << "}" << (i + 1 < shards.size() ? "," : "") << "\n";
+    w.key("counters").begin_object();
+    w.kv("rx", r.counters.rx);
+    w.kv("dropped", r.counters.dropped);
+    w.kv("tx", r.counters.tx);
+    w.kv("processed", r.counters.processed);
+    w.end_object();
+    w.kv("events", r.events);
+    w.kv("pending_at_measure", static_cast<std::uint64_t>(r.pending_at_measure));
+    w.kv("final_clock_ns", static_cast<std::int64_t>(r.final_clock));
+    w.kv("latency_count", r.latency_count);
+    w.kv("telemetry_fingerprint", r.fingerprint);
+    w.kv("throughput_mpps", r.result.throughput_mpps);
+    w.kv("loss_permille", r.result.loss_permille);
+    w.kv("cpu_percent", r.result.cpu_percent);
+    w.kv("package_watts", r.result.package_watts);
+    if (include_timing) w.kv("wall_seconds", r.wall_seconds);
+    w.key("metrics");
+    r.telemetry.write_json(w);
+    w.end_object();
   }
-  os << "  ]\n}\n";
+  w.end_array();
+  // Whole-sweep totals: every shard's telemetry union-merged in shard
+  // order. Backends of one point both contribute (a sweep total, not a
+  // deduplicated workload total).
+  w.key("totals");
+  merge_telemetry(results).write_json(w);
+  w.end_object();
+  w.finish();
   return os.str();
 }
 

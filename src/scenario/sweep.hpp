@@ -19,11 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "apps/experiment.hpp"
 #include "scenario/registry.hpp"
+#include "stats/metric_set.hpp"
 
 namespace metro::scenario {
 
@@ -40,7 +42,10 @@ struct Shard {
   apps::ExperimentConfig config;
 };
 
-/// Full-run packet counters: the cross-backend identity fingerprint.
+/// Headline packet counters, for tables and divergence diagnostics. A
+/// *view* over the shard's telemetry snapshot — identity checks no longer
+/// compare this hand-picked subset; they compare ShardResult::fingerprint,
+/// which covers every registered metric.
 struct ShardCounters {
   std::uint64_t rx = 0;
   std::uint64_t dropped = 0;
@@ -52,12 +57,23 @@ struct ShardCounters {
 /// Everything a shard run produces. All fields except wall_seconds are
 /// deterministic (pure functions of the shard's config).
 struct ShardResult {
-  ShardCounters counters;
+  /// Every metric the testbed registered (port and per-ring counters,
+  /// driver statistics, the latency histogram), snapshotted at the end of
+  /// the run. Counters are whole-run totals; summaries/histograms are
+  /// *measurement-window* values (begin_measurement resets them — warmup
+  /// samples are not in here). The merge/report path operates on this,
+  /// not on copied fields.
+  stats::MetricSnapshot telemetry;
+  /// Order-sensitive digest of `telemetry` — the cross-backend /
+  /// cross-geometry / cross-jobs identity check. Subsumes the old
+  /// latency-bin digest and ShardCounters comparison: any single counter
+  /// or bin diverging changes this value.
+  std::uint64_t fingerprint = 0;
+  ShardCounters counters;              ///< headline view (see ShardCounters)
   std::uint64_t events = 0;            ///< kernel events over the whole run
   std::size_t pending_at_measure = 0;  ///< pending events at measurement start
   sim::Time final_clock = 0;
   std::uint64_t latency_count = 0;     ///< latency histogram sample count
-  std::uint64_t latency_digest = 0;    ///< order-sensitive hash of the raw bins
   apps::ExperimentResult result;       ///< measurement-window observables
   double wall_seconds = 0.0;           ///< host time; NOT deterministic
 };
@@ -98,9 +114,20 @@ class SweepRunner {
   int jobs_;
 };
 
-/// Merge shards + results into one JSON report (shard order preserved).
-/// `include_timing` adds per-shard wall_seconds — the one nondeterministic
-/// field; leave it off when comparing reports across worker counts.
+/// Deterministically merge every shard's telemetry into one snapshot, in
+/// shard order (union by name: counters add, summaries/histograms merge —
+/// see stats::MetricSnapshot::merge). Shards of different shapes (other
+/// drivers, other queue counts) union cleanly; a same-named histogram
+/// with a different geometry throws.
+stats::MetricSnapshot merge_telemetry(const std::vector<ShardResult>& results);
+
+/// Merge shards + results into one JSON report (shard order preserved),
+/// emitted through stats::JsonWriter — the single JSON path. Per shard:
+/// the identifying axes, headline counters, `telemetry_fingerprint` and
+/// the full `metrics` object; a trailing `totals` object carries
+/// merge_telemetry() over all shards. `include_timing` adds per-shard
+/// wall_seconds — the one nondeterministic field; leave it off when
+/// comparing reports across worker counts.
 std::string report_json(const std::vector<Shard>& shards,
                         const std::vector<ShardResult>& results, bool include_timing);
 

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "stats/summary.hpp"
@@ -85,6 +87,24 @@ class Histogram {
       d[i] = static_cast<double>(bins_[i]) / (total * bin_width_);
     }
     return d;
+  }
+
+  /// Bin-wise merge of another histogram filled at the *same* geometry:
+  /// bins and overflow add, the side Summary merges by the parallel-
+  /// moments rule. Merging shard histograms of split sub-streams yields
+  /// bin counts identical to a single-pass fill of the combined stream.
+  /// Throws std::invalid_argument on a bin-width or bin-count mismatch —
+  /// silently resampling mismatched geometries would fabricate data.
+  void merge(const Histogram& other) {
+    if (other.bin_width_ != bin_width_ || other.bins_.size() != bins_.size()) {
+      throw std::invalid_argument(
+          "Histogram::merge: geometry mismatch (bin_width " + std::to_string(bin_width_) +
+          "/" + std::to_string(other.bin_width_) + ", bins " + std::to_string(bins_.size()) +
+          "/" + std::to_string(other.bins_.size()) + ")");
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+    overflow_ += other.overflow_;
+    summary_.merge(other.summary_);
   }
 
   double bin_width() const noexcept { return bin_width_; }

@@ -1,0 +1,202 @@
+/// \file json_writer.hpp
+/// The one JSON emission path for every machine-readable artifact.
+///
+/// Every BENCH_*.json file and sweep report used to be hand-rolled
+/// `ostringstream` string-pasting — five slightly different comma/quote
+/// conventions, no escaping, and `inf`/`nan` silently producing invalid
+/// JSON. JsonWriter is a small streaming emitter with an explicit
+/// container stack: it places commas, indents two spaces per depth (so
+/// the artifacts stay diff-friendly and `python3 -m json.tool` clean),
+/// escapes strings, and prints doubles with round-trip precision so
+/// bit-identical values always serialise to byte-identical text — the
+/// property the sweep determinism checks compare reports by.
+///
+/// Non-finite doubles serialise as `null` (JSON has no inf/nan); emitting
+/// one is almost always an upstream bug (a 0/0 speedup), and `null` keeps
+/// the artifact parseable so CI can still diff the rest.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metro::stats {
+
+class JsonWriter {
+ public:
+  /// Writes into `os`; emit exactly one top-level value, then the writer
+  /// must be back at depth 0 (checked by done()).
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object() {
+    begin_value();
+    os_ << "{";
+    stack_.push_back(Frame{true, 0});
+    return *this;
+  }
+
+  JsonWriter& end_object() { return end_container('}', true); }
+
+  JsonWriter& begin_array() {
+    begin_value();
+    os_ << "[";
+    stack_.push_back(Frame{false, 0});
+    return *this;
+  }
+
+  JsonWriter& end_array() { return end_container(']', false); }
+
+  /// Key of the next value; valid only directly inside an object.
+  JsonWriter& key(std::string_view k) {
+    assert(!stack_.empty() && "JsonWriter: key() with no open container");
+    assert(top().is_object && "JsonWriter: key() is only valid inside an object");
+    Frame& f = top();
+    if (f.count > 0) os_ << ",";
+    newline_indent();
+    write_string(k);
+    os_ << ": ";
+    have_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    begin_value();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    begin_value();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    begin_value();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return *this;
+    }
+    // max_digits10 round-trips the exact double, so equal values always
+    // print equal text (the determinism checks compare report bytes).
+    // Written straight to the sink with the stream state restored — no
+    // per-value temporary stream.
+    const auto flags = os_.flags();
+    const auto precision = os_.precision();
+    os_ << std::defaultfloat << std::setprecision(17) << v;
+    os_.flags(flags);
+    os_.precision(precision);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    begin_value();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    begin_value();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null() {
+    begin_value();
+    os_ << "null";
+    return *this;
+  }
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once one complete top-level value has been written.
+  bool done() const noexcept { return stack_.empty() && wrote_root_; }
+
+  /// Final newline so the artifact ends like a POSIX text file.
+  void finish() {
+    if (done()) os_ << "\n";
+  }
+
+ private:
+  struct Frame {
+    bool is_object;
+    std::size_t count;
+  };
+
+  Frame& top() { return stack_.back(); }
+
+  void newline_indent() {
+    os_ << "\n";
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+
+  /// Comma/indent bookkeeping before any value token.
+  void begin_value() {
+    if (stack_.empty()) {
+      wrote_root_ = true;
+      return;
+    }
+    Frame& f = top();
+    if (f.is_object) {
+      // key() must have placed the comma and indentation: a bare value
+      // inside an object would emit invalid JSON.
+      assert(have_key_ && "JsonWriter: value() inside an object needs key() first");
+      have_key_ = false;
+    } else {
+      if (f.count > 0) os_ << ",";
+      newline_indent();
+    }
+    ++f.count;
+  }
+
+  JsonWriter& end_container(char close, bool object) {
+    assert(!stack_.empty() && "JsonWriter: end with no open container");
+    assert(top().is_object == object && "JsonWriter: mismatched end_object()/end_array()");
+    (void)object;
+    const Frame f = top();
+    stack_.pop_back();
+    if (f.count > 0) newline_indent();
+    os_ << close;
+    if (stack_.empty()) wrote_root_ = true;
+    return *this;
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            os_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                << static_cast<int>(c) << std::dec << std::setfill(' ');
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool have_key_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace metro::stats

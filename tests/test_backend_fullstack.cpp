@@ -22,6 +22,9 @@ namespace metro::apps {
 namespace {
 
 struct FullstackFingerprint {
+  // Full-telemetry digest: every registered metric of every layer, in one
+  // order-sensitive value (stats::MetricSet::fingerprint).
+  std::uint64_t telemetry = 0;
   // Port / ring counters over the whole run.
   std::uint64_t rx = 0;
   std::uint64_t dropped = 0;
@@ -55,6 +58,7 @@ FullstackFingerprint run_fullstack(const ExperimentConfig& cfg) {
   const ExperimentResult r = bed.finish_measurement();
 
   FullstackFingerprint fp;
+  fp.telemetry = bed.telemetry().fingerprint();
   fp.rx = bed.port().total_rx();
   fp.dropped = bed.port().total_dropped();
   fp.tx = bed.port().tx().total_transmitted();

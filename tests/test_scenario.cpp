@@ -202,16 +202,16 @@ TEST(BurstyGeneratorTest, IncastEpochsAreSynchronizedBursts) {
 // --- cross-backend bit-identity for every arrival model --------------------
 
 struct Fingerprint {
+  std::uint64_t telemetry = 0;  ///< full MetricSet digest (all layers)
   scenario::ShardCounters counters;
   std::uint64_t events = 0;
   sim::Time final_clock = 0;
   std::uint64_t latency_count = 0;
-  std::uint64_t latency_digest = 0;
   bool operator==(const Fingerprint&) const = default;
 };
 
 Fingerprint fingerprint_of(const scenario::ShardResult& r) {
-  return Fingerprint{r.counters, r.events, r.final_clock, r.latency_count, r.latency_digest};
+  return Fingerprint{r.fingerprint, r.counters, r.events, r.final_clock, r.latency_count};
 }
 
 apps::ExperimentConfig small_config(ArrivalModel model) {
