@@ -29,7 +29,7 @@ void row(stats::Table& t, const std::string& name, const apps::ExperimentResult&
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
+  const bool fast = bench::parse_fast(argc, argv);
   const auto w = bench::windows(fast);
 
   bench::header("Ablation - Metronome design choices",

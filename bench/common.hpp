@@ -26,6 +26,16 @@
 //                         the synthesised §V-F.4 trace.
 //   --list                bench_scenario_matrix: print registered scenario
 //                         names, one per line, and exit 0.
+//   --only=a,b,c          bench_scenario_matrix: restrict the sweep to the
+//                         named scenarios (e.g. the fault scenarios in the
+//                         sanitizer CI job).
+//   --deadline=SECONDS    per-shard wall-clock deadline; a shard that
+//                         exceeds it fails (and is reported) instead of
+//                         wedging the sweep.
+//
+// Parsing is strict: unknown flags and malformed numeric values print the
+// usage text and exit 2. Benches that only take --fast use parse_fast(),
+// with the same policy.
 #pragma once
 
 #include <algorithm>
@@ -44,32 +54,8 @@
 
 namespace metro::bench {
 
-inline bool fast_mode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--fast") == 0) return true;
-  }
-  return false;
-}
-
 /// Event-queue backend selection.
 enum class BackendChoice { kHeap, kLadder, kBoth };
-
-inline BackendChoice backend_choice(int argc, char** argv,
-                                    BackendChoice def = BackendChoice::kBoth) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
-      const char* v = argv[i] + 10;
-      if (std::strcmp(v, "heap") == 0) return BackendChoice::kHeap;
-      if (std::strcmp(v, "ladder") == 0) return BackendChoice::kLadder;
-      if (std::strcmp(v, "both") == 0) return BackendChoice::kBoth;
-      // A misconfigured CI step must fail loudly, not silently run the
-      // default (doubling runtime and changing the JSON shape).
-      std::cerr << "unknown --backend value '" << v << "' (heap|ladder|both)\n";
-      std::exit(2);
-    }
-  }
-  return def;
-}
 
 inline bool use_heap(BackendChoice c) { return c != BackendChoice::kLadder; }
 inline bool use_ladder(BackendChoice c) { return c != BackendChoice::kHeap; }
@@ -91,65 +77,141 @@ inline int default_jobs() {
   return static_cast<int>(std::clamp(hw / 2, 1u, 8u));
 }
 
-/// --jobs=N (defaults to `def`). Rejects non-positive or malformed values
-/// loudly, same policy as --backend.
-inline int jobs_flag(int argc, char** argv, int def) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      char* end = nullptr;
-      const long v = std::strtol(argv[i] + 7, &end, 10);
-      if (end == argv[i] + 7 || *end != '\0' || v < 1 || v > 1024) {
-        std::cerr << "bad --jobs value '" << (argv[i] + 7) << "' (want 1..1024)\n";
-        std::exit(2);
-      }
-      return static_cast<int>(v);
-    }
-  }
-  return def;
-}
-
-/// --trace=<file> (empty when absent). The value is a path; existence is
-/// checked where it is opened, so a typo fails with a clear error there.
-inline std::string trace_flag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      const char* v = argv[i] + 8;
-      if (*v == '\0') {
-        std::cerr << "--trace needs a pcap path (--trace=<file>)\n";
-        std::exit(2);
-      }
-      return v;
-    }
-  }
-  return {};
-}
-
-inline bool list_flag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--list") == 0) return true;
-  }
-  return false;
-}
-
 /// The shared flag set, parsed once per bench (the one place --fast /
-/// --backend / --jobs / --trace / --list spellings live).
+/// --backend / --jobs / --trace / --list / --only / --deadline spellings
+/// live).
 struct Args {
   bool fast = false;
   BackendChoice backend = BackendChoice::kBoth;
   int jobs = 1;
   std::string trace;  ///< external pcap for kTrace scenarios; empty = synthesise
   bool list = false;  ///< print registry names and exit (scenario_matrix)
+  std::vector<std::string> only;  ///< scenario filter; empty = all (scenario_matrix)
+  double deadline_s = 0.0;        ///< per-shard wall-clock deadline; 0 = off
 };
 
-inline Args parse_args(int argc, char** argv, BackendChoice def_backend,
-                       int def_jobs) {
+inline const char* usage_text() {
+  return "flags:\n"
+         "  --fast               shrink measurement windows (CI smoke mode)\n"
+         "  --backend=heap|ladder|both\n"
+         "  --jobs=N             sweep worker threads (1..1024)\n"
+         "  --trace=<file>       external pcap for kTrace scenarios\n"
+         "  --list               print registered scenario names and exit\n"
+         "  --only=a,b,c         restrict the sweep to the named scenarios\n"
+         "  --deadline=SECONDS   per-shard wall-clock deadline (> 0)\n";
+}
+
+/// Strict single-pass parser behind parse_args(): every argv entry must
+/// be a recognised flag with a well-formed value. Returns false (with a
+/// one-line reason in `error`) on the first unknown flag or malformed
+/// numeric — a typo like --backed=ladder or --jobs=abc must never
+/// silently run defaults, which is how a misconfigured overnight sweep
+/// produces wrong-but-plausible numbers. Split from parse_args so tests
+/// can exercise the policy without exiting.
+inline bool try_parse_args(int argc, char** argv, BackendChoice def_backend, int def_jobs,
+                           Args& out, std::string& error) {
+  out = Args{};
+  out.backend = def_backend;
+  out.jobs = def_jobs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      out.fast = true;
+    } else if (arg == "--list") {
+      out.list = true;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string v = arg.substr(10);
+      if (v == "heap") {
+        out.backend = BackendChoice::kHeap;
+      } else if (v == "ladder") {
+        out.backend = BackendChoice::kLadder;
+      } else if (v == "both") {
+        out.backend = BackendChoice::kBoth;
+      } else {
+        error = "unknown --backend value '" + v + "' (heap|ladder|both)";
+        return false;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const std::string v = arg.substr(7);
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || *end != '\0' || n < 1 || n > 1024) {
+        error = "bad --jobs value '" + v + "' (want 1..1024)";
+        return false;
+      }
+      out.jobs = static_cast<int>(n);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      out.trace = arg.substr(8);
+      if (out.trace.empty()) {
+        error = "--trace needs a pcap path (--trace=<file>)";
+        return false;
+      }
+    } else if (arg.rfind("--only=", 0) == 0) {
+      const std::string v = arg.substr(7);
+      std::size_t start = 0;
+      while (start <= v.size()) {
+        const std::size_t comma = v.find(',', start);
+        const std::string name =
+            v.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!name.empty()) out.only.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (out.only.empty()) {
+        error = "--only needs a comma-separated scenario list (--only=a,b)";
+        return false;
+      }
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      const std::string v = arg.substr(11);
+      char* end = nullptr;
+      const double s = std::strtod(v.c_str(), &end);
+      if (v.empty() || *end != '\0' || !(s > 0.0)) {
+        error = "bad --deadline value '" + v + "' (want seconds > 0)";
+        return false;
+      }
+      out.deadline_s = s;
+    } else {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+inline Args parse_args(int argc, char** argv, BackendChoice def_backend, int def_jobs) {
   Args a;
-  a.fast = fast_mode(argc, argv);
-  a.backend = backend_choice(argc, argv, def_backend);
-  a.jobs = jobs_flag(argc, argv, def_jobs);
-  a.trace = trace_flag(argc, argv);
-  a.list = list_flag(argc, argv);
+  std::string error;
+  if (!try_parse_args(argc, argv, def_backend, def_jobs, a, error)) {
+    std::cerr << error << "\n" << usage_text();
+    std::exit(2);
+  }
   return a;
+}
+
+/// Strict parser for the figure benches whose only flag is --fast. Unknown
+/// flags get the same usage-and-exit-2 treatment as parse_args — a typoed
+/// `--fats` overnight run must fail at launch, not run the full windows.
+inline bool try_parse_fast(int argc, char** argv, bool& fast, std::string& error) {
+  fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else {
+      error = "unknown flag '" + std::string(argv[i]) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool parse_fast(int argc, char** argv) {
+  bool fast = false;
+  std::string error;
+  if (!try_parse_fast(argc, argv, fast, error)) {
+    std::cerr << error << "\nflags:\n  --fast    shrink measurement windows (CI smoke mode)\n";
+    std::exit(2);
+  }
+  return fast;
 }
 
 inline void header(const std::string& title, const std::string& paper_expectation) {

@@ -5,7 +5,7 @@
 using namespace metro;
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
+  const bool fast = bench::parse_fast(argc, argv);
   const auto w = bench::windows(fast);
 
   bench::header("Figure 11 - power vs CPU under both governors",

@@ -67,7 +67,7 @@ double throughput_mpps(apps::DriverKind kind, bool with_competitor, bool fast) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
+  const bool fast = bench::parse_fast(argc, argv);
   const sim::Time work = fast ? sim::kSecond : 2 * sim::kSecond;
 
   bench::header("Figure 12 - ferret execution time under CPU sharing",

@@ -39,7 +39,7 @@ stats::Boxplot live_boxplot(sim::Time requested, int samples) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
+  const bool fast = bench::parse_fast(argc, argv);
   const int model_samples = fast ? 50000 : 1000000;
   const int live_samples = fast ? 500 : 5000;
 

@@ -26,7 +26,7 @@
 using namespace metro;
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
+  const bool fast = bench::parse_fast(argc, argv);
   const int n_seeds = fast ? 10 : 60;
   const sim::Time run_per_seed = fast ? 100 * sim::kMillisecond : 400 * sim::kMillisecond;
   constexpr double kTimeout = 50.0;  // us, requested TS = TL

@@ -13,7 +13,7 @@
 using namespace metro;
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
+  const bool fast = bench::parse_fast(argc, argv);
   const sim::Time total = fast ? 6 * sim::kSecond : 12 * sim::kSecond;
   const sim::Time step = total / 30;  // 30 rate steps, as in a 60 s / 2 s ramp
 

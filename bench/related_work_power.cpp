@@ -70,7 +70,7 @@ Row run_harness(apps::DriverKind kind, sim::Governor governor, double mpps,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = bench::fast_mode(argc, argv);
+  const bool fast = bench::parse_fast(argc, argv);
   const auto w = bench::windows(fast);
 
   bench::header("Related work - DVFS vs CPU proportionality (§II argument)",

@@ -20,7 +20,16 @@
 // names one per line and exits 0; --trace=<file> replays an external
 // pcap through the kTrace scenarios instead of the synthesised §V-F.4
 // trace (identity checks still apply — a trace shard is as deterministic
-// as any other).
+// as any other); --only=a,b,c restricts the sweep (the sanitizer CI job
+// runs just the fault scenarios); --deadline=SECONDS arms the per-shard
+// wall-clock watchdog.
+//
+// Hardened execution: a shard that throws is captured into the report's
+// `failures` section (and retried once) instead of terminating the
+// process; the bench prints a per-shard failure summary to stderr and
+// exits nonzero. Fault-bearing scenarios additionally appear in the
+// report's `fault_matrix` block, and are held to the same cross-backend
+// and cross-jobs identity gates as healthy ones.
 //
 // Writes the merged report (timing included) to BENCH_scenarios.json.
 #include <fstream>
@@ -48,7 +57,19 @@ int main(int argc, char** argv) {
                 "identically for any worker count");
 
   scenario::SweepMatrix matrix;
-  for (const auto& s : scenario::all_scenarios()) matrix.scenarios.push_back(s.name);
+  if (args.only.empty()) {
+    for (const auto& s : scenario::all_scenarios()) matrix.scenarios.push_back(s.name);
+  } else {
+    // --only=a,b,c: validate the names eagerly (a typo must fail at
+    // launch, same policy as the flag parser).
+    for (const auto& name : args.only) {
+      if (scenario::find_scenario(name) == nullptr) {
+        std::cerr << "unknown scenario '" << name << "' in --only (see --list)\n";
+        return 2;
+      }
+      matrix.scenarios.push_back(name);
+    }
+  }
   matrix.backends = bench::backend_kinds(args.backend);
   if (args.fast) {
     // Identity holds for any window; short ones keep the CI step cheap.
@@ -72,21 +93,24 @@ int main(int argc, char** argv) {
               << " kTrace shard(s)\n\n";
   }
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<scenario::ShardResult> results;
-  try {
-    results = scenario::SweepRunner(args.jobs).run(shards);
-  } catch (const std::exception& e) {
-    // A shard that cannot even be assembled (e.g. an unreadable --trace
-    // file) is a usage error, not a divergence: fail cleanly.
-    std::cerr << "shard failed: " << e.what() << "\n";
-    return 2;
-  }
+  scenario::SweepRunner runner(args.jobs);
+  runner.set_shard_deadline(args.deadline_s);
+  // The hardened runner captures per-shard exceptions into the results
+  // (ShardResult::failed/error) — a shard that cannot even be assembled
+  // (e.g. an unreadable --trace file) is reported and counted below
+  // instead of taking the whole matrix down.
+  std::vector<scenario::ShardResult> results = runner.run(shards);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   stats::Table table({"scenario", "backend", "rx", "tx", "dropped", "processed",
                       "p50 lat (us)", "wall (s)"});
   for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (results[i].failed) {
+      table.add_row({shards[i].scenario, scenario::backend_name(shards[i].backend), "FAILED",
+                     "-", "-", "-", "-", "-"});
+      continue;
+    }
     const auto& c = results[i].counters;
     table.add_row({shards[i].scenario, scenario::backend_name(shards[i].backend),
                    std::to_string(c.rx), std::to_string(c.tx), std::to_string(c.dropped),
@@ -98,6 +122,13 @@ int main(int argc, char** argv) {
   std::cout << "\n" << shards.size() << " shards on " << args.jobs << " job(s), elapsed "
             << bench::num(elapsed, 2) << " s\n";
 
+  // --- per-shard failures ----------------------------------------------
+  const std::size_t n_failed = scenario::failed_count(results);
+  if (n_failed > 0) {
+    std::cerr << "\n" << n_failed << " shard(s) failed:\n"
+              << scenario::failure_summary(shards, results);
+  }
+
   // --- cross-backend identity ------------------------------------------
   bool diverged = false;
   std::map<std::string, std::vector<std::size_t>> by_scenario;
@@ -108,6 +139,9 @@ int main(int argc, char** argv) {
     for (std::size_t j = 1; j < idx.size(); ++j) {
       const auto& a = results[idx[0]];
       const auto& b = results[idx[j]];
+      // Failed shards have no telemetry to compare; they are already
+      // accounted in the failure summary and the exit status.
+      if (a.failed || b.failed) continue;
       // Full-set identity: the fingerprint covers every registered metric
       // of every layer (the old hand-picked counter/digest comparison is
       // a strict subset of it); final_clock covers the kernel clock.
@@ -131,15 +165,12 @@ int main(int argc, char** argv) {
   // --- sweep determinism: jobs=N vs jobs=1 must merge identically ------
   bool nondeterministic = false;
   if (args.jobs > 1) {
-    std::vector<scenario::ShardResult> serial;
-    try {
-      serial = scenario::SweepRunner(1).run(shards);
-    } catch (const std::exception& e) {
-      // Same error class as the parallel run (e.g. a --trace file that
-      // vanished between the two passes): fail cleanly, not terminate().
-      std::cerr << "shard failed on the serial determinism rerun: " << e.what() << "\n";
-      return 2;
-    }
+    // Same runner configuration, one worker: failure capture included —
+    // a deterministic failure must produce the identical `failures`
+    // section on any worker count.
+    scenario::SweepRunner serial_runner(1);
+    serial_runner.set_shard_deadline(args.deadline_s);
+    const std::vector<scenario::ShardResult> serial = serial_runner.run(shards);
     const std::string parallel_json = scenario::report_json(shards, results, false);
     const std::string serial_json = scenario::report_json(shards, serial, false);
     if (parallel_json != serial_json) {
@@ -154,10 +185,12 @@ int main(int argc, char** argv) {
 
   std::ofstream("BENCH_scenarios.json") << scenario::report_json(shards, results, true);
   std::cout << "wrote BENCH_scenarios.json\n";
-  if (diverged || nondeterministic) {
-    std::cerr << "\nFAIL: " << (diverged ? "cross-backend divergence" : "")
-              << (diverged && nondeterministic ? " + " : "")
-              << (nondeterministic ? "nondeterministic sweep merge" : "") << "\n";
+  if (diverged || nondeterministic || n_failed > 0) {
+    std::cerr << "\nFAIL:";
+    if (diverged) std::cerr << " cross-backend divergence";
+    if (nondeterministic) std::cerr << " nondeterministic sweep merge";
+    if (n_failed > 0) std::cerr << " " << n_failed << " failed shard(s)";
+    std::cerr << "\n";
     return 1;
   }
   return 0;

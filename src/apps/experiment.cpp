@@ -64,6 +64,15 @@ BasicTestbed<Sim>::BasicTestbed(const ExperimentConfig& cfg) : cfg_(cfg) {
   port_ = std::make_unique<nic::BasicPort<Sim>>(*sim_, port_cfg,
                                                 nic::TxCallback(latency_recorder_));
 
+  if (cfg.workload.fault.any()) {
+    // Fault stream seeded from the *shard* seed on a dedicated stream tag:
+    // bit-identical across backends, geometries and --jobs by the same
+    // argument as the workload stream.
+    fault_ = std::make_unique<fault::FaultInjector>(cfg.workload.fault,
+                                                    fault::FaultInjector::derive_seed(cfg.seed));
+    port_->set_fault_injector(fault_.get());
+  }
+
   flows_ = std::make_unique<tgen::FlowSet>(cfg.workload.n_flows, cfg.workload.seed);
   const Time gen_duration = cfg.warmup + cfg.measure + 100 * sim::kMillisecond;
   const auto n_flows = static_cast<std::uint32_t>(cfg.workload.n_flows);
@@ -200,6 +209,7 @@ void BasicTestbed<Sim>::start() {
   // from here on the hot paths just increment their own fields, and the
   // set snapshots/windows/fingerprints them.
   port_->register_metrics(metrics_, "port");
+  if (fault_) fault_->register_metrics(metrics_, "fault");
   metrics_.attach_histogram("latency_us", *latency_);
   if (metronome_) metronome_->register_metrics(metrics_, "met");
   for (std::size_t q = 0; q < polling_stats_.size(); ++q) {

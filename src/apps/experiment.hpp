@@ -25,6 +25,7 @@
 #include "core/metronome.hpp"
 #include "dpdk/static_polling.hpp"
 #include "dpdk/xdp_model.hpp"
+#include "fault/fault.hpp"
 #include "nic/port.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulation.hpp"
@@ -92,6 +93,11 @@ struct WorkloadConfig {
   tgen::ParetoTrainShape pareto{}; ///< kParetoTrain knobs
   tgen::IncastShape incast{};      ///< kIncast knobs
   TraceReplayParams trace{};       ///< kTrace knobs
+  /// Deterministic fault plane (drop / corrupt / dup / reorder / link
+  /// flap / ring stall). Inert by default; when active the testbed seeds
+  /// a FaultInjector from the *shard* seed (fault::FaultInjector::
+  /// derive_seed(ExperimentConfig::seed)) and hooks it into the port.
+  fault::FaultSpec fault{};
   std::uint64_t seed = 42;
 };
 
@@ -224,6 +230,7 @@ class BasicTestbed {
   std::unique_ptr<sim::BasicMachine<Sim>> machine_;
   std::unique_ptr<stats::Histogram> latency_;
   LatencyRecorder latency_recorder_;  // must outlive port_ (non-owning ref)
+  std::unique_ptr<fault::FaultInjector> fault_;  // must outlive port_ (borrowed there)
   std::unique_ptr<nic::BasicPort<Sim>> port_;
   std::unique_ptr<tgen::FlowSet> flows_;
   std::unique_ptr<tgen::Generator> generator_;

@@ -9,9 +9,15 @@ bool FloWatcher::observe(const net::Packet& pkt, std::int64_t now_ns) {
   total_bytes_ += pkt.size();
   size_hist_.add(static_cast<double>(pkt.size()));
   net::FiveTuple tuple;
-  if (!net::extract_five_tuple(pkt, tuple)) {
-    ++non_ip_;
-    return false;
+  switch (net::classify_five_tuple(pkt, tuple)) {
+    case net::FiveTupleError::kNotIpv4:
+      ++non_ip_;
+      return false;
+    case net::FiveTupleError::kMalformed:
+      ++malformed_;
+      return false;
+    case net::FiveTupleError::kOk:
+      break;
   }
   observe_flow_impl(tuple, static_cast<std::uint16_t>(pkt.size()), now_ns);
   return true;

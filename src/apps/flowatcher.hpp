@@ -47,6 +47,10 @@ class FloWatcher {
   std::uint64_t total_packets() const noexcept { return total_packets_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
   std::uint64_t non_ip_packets() const noexcept { return non_ip_; }
+  /// IPv4-typed frames whose headers failed validation (bad version/IHL,
+  /// truncated below the declared lengths) — counted and dropped instead
+  /// of being parsed as garbage.
+  std::uint64_t malformed_packets() const noexcept { return malformed_; }
   std::size_t active_flows() const noexcept { return flows_.size(); }
   const stats::Histogram& size_histogram() const noexcept { return size_hist_; }
 
@@ -64,6 +68,7 @@ class FloWatcher {
     set.attach_counter(prefix + ".packets", total_packets_);
     set.attach_counter(prefix + ".bytes", total_bytes_);
     set.attach_counter(prefix + ".non_ip", non_ip_);
+    set.attach_counter(prefix + ".malformed", malformed_);
     set.attach_histogram(prefix + ".size_bytes", size_hist_);
   }
 
@@ -79,6 +84,7 @@ class FloWatcher {
   std::uint64_t total_packets_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t non_ip_ = 0;
+  std::uint64_t malformed_ = 0;
 };
 
 }  // namespace metro::apps

@@ -99,8 +99,16 @@ bool IpsecGateway::decap(Packet& pkt) {
     return false;
   }
   const EthernetHeader eth = *pkt.at<EthernetHeader>(0);
+  if (be16_to_host(eth.ether_type) != kEtherTypeIpv4) {
+    ++stats_.malformed;
+    return false;
+  }
   const auto* outer_ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
-  if (outer_ip->protocol != kIpProtoEsp || !ipv4_checksum_ok(*outer_ip)) {
+  // The gateway only ever emits a 20-byte option-free outer header
+  // (encap writes 0x45); anything else means the tunnel header was
+  // corrupted, and the fixed-size adj() below would misparse it.
+  if (outer_ip->version_ihl != 0x45 || outer_ip->protocol != kIpProtoEsp ||
+      !ipv4_checksum_ok(*outer_ip)) {
     ++stats_.malformed;
     return false;
   }

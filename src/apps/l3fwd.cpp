@@ -31,8 +31,17 @@ std::optional<std::uint16_t> L3Forwarder::process(Packet& pkt) {
     return std::nullopt;
   }
   auto* ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
-  if (ip->header_len() < sizeof(Ipv4Header) ||
+  // Full header validation before any further field is trusted: version
+  // nibble, IHL floor, truncation against both IHL and total_length
+  // (shorter-than-buffer is fine — Ethernet pads small frames — but a
+  // header claiming bytes the buffer lacks is corruption).
+  if ((ip->version_ihl >> 4) != 4 || ip->header_len() < sizeof(Ipv4Header) ||
       pkt.size() < sizeof(EthernetHeader) + ip->header_len()) {
+    drop(L3fwdDrop::kMalformed);
+    return std::nullopt;
+  }
+  const std::size_t total_len = be16_to_host(ip->total_length);
+  if (total_len < ip->header_len() || total_len > pkt.size() - sizeof(EthernetHeader)) {
     drop(L3fwdDrop::kMalformed);
     return std::nullopt;
   }

@@ -1,0 +1,68 @@
+#include "fault/fault.hpp"
+
+namespace metro::fault {
+
+namespace {
+
+/// Stateless flap window: with period `every + down`, time t is "down"
+/// during the trailing `down` of its period. Returns the window index
+/// (t / period) through `window` so callers can account each witnessed
+/// down-window exactly once.
+bool in_down_window(sim::Time t, sim::Time every, sim::Time down, std::int64_t& window) {
+  if (every <= 0 || down <= 0 || t < 0) return false;
+  const sim::Time period = every + down;
+  window = t / period;
+  return (t % period) >= every;
+}
+
+}  // namespace
+
+bool FaultInjector::link_down(sim::Time t) {
+  std::int64_t window = -1;
+  if (!in_down_window(t, spec_.link_down_every, spec_.link_down_for, window)) return false;
+  if (window != last_down_window_) {
+    last_down_window_ = window;
+    counters_.link_down_ns += static_cast<std::uint64_t>(spec_.link_down_for);
+  }
+  return true;
+}
+
+bool FaultInjector::rx_stalled(sim::Time t) {
+  std::int64_t window = -1;
+  if (!in_down_window(t, spec_.stall_every, spec_.stall_for, window)) return false;
+  if (window != last_stall_window_) {
+    last_stall_window_ = window;
+    counters_.stall_ns += static_cast<std::uint64_t>(spec_.stall_for);
+  }
+  return true;
+}
+
+void FaultInjector::corrupt(nic::PacketDesc& pkt) {
+  // Header-field corruption on the descriptor path: one flipped bit in the
+  // RSS hash (the packet may land on the wrong queue — exactly what a
+  // corrupted 5-tuple does to real RSS) and one in the low bits of the
+  // wire size (keeping it inside the 11-bit MTU range so the descriptor
+  // stays representable; a zero size clamps to 1 byte).
+  pkt.rss_hash ^= std::uint32_t{1} << rng_.uniform_u64(32);
+  pkt.wire_size = static_cast<std::uint16_t>(pkt.wire_size ^ (std::uint16_t{1} << rng_.uniform_u64(11)));
+  if (pkt.wire_size == 0) pkt.wire_size = 1;
+}
+
+void FaultInjector::flip_bits(std::uint8_t* data, std::size_t len, int n_bits) {
+  if (len == 0) return;
+  for (int i = 0; i < n_bits; ++i) {
+    const std::uint64_t bit = rng_.uniform_u64(static_cast<std::uint64_t>(len) * 8);
+    data[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+  }
+}
+
+void FaultInjector::register_metrics(stats::MetricSet& set, const std::string& prefix) {
+  set.attach_counter(prefix + ".dropped", counters_.dropped);
+  set.attach_counter(prefix + ".corrupted", counters_.corrupted);
+  set.attach_counter(prefix + ".dup", counters_.dup);
+  set.attach_counter(prefix + ".reordered", counters_.reordered);
+  set.attach_counter(prefix + ".link_down_ns", counters_.link_down_ns);
+  set.attach_counter(prefix + ".stall_ns", counters_.stall_ns);
+}
+
+}  // namespace metro::fault

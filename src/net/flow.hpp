@@ -22,19 +22,44 @@ struct FiveTuple {
   bool operator==(const FiveTuple&) const = default;
 };
 
-/// Extract the 5-tuple from an Ethernet/IPv4/{UDP,TCP} packet.
-/// Returns false for anything else.
-inline bool extract_five_tuple(const Packet& pkt, FiveTuple& out) {
-  if (pkt.size() < sizeof(EthernetHeader) + sizeof(Ipv4Header)) return false;
+/// Why a 5-tuple extraction did not produce a tuple. Distinguishing
+/// "not our protocol" from "IPv4 that lies about itself" lets the apps
+/// keep separate non-IP and malformed drop counters (the fault plane's
+/// bit-flip corruption produces the latter).
+enum class FiveTupleError {
+  kOk,
+  kNotIpv4,    ///< too short for Ethernet, or a non-IPv4 ethertype
+  kMalformed,  ///< IPv4 ethertype but the header is unusable (bad
+               ///< version/IHL, or truncated below what it declares)
+};
+
+/// Extract the 5-tuple from an Ethernet/IPv4/{UDP,TCP} packet with full
+/// header validation: every field is bounds-checked against the buffer
+/// *before* it is read (Packet::at's asserts vanish under NDEBUG, so the
+/// checks here are the only thing between a corrupted IHL and an
+/// out-of-bounds read in Release builds).
+inline FiveTupleError classify_five_tuple(const Packet& pkt, FiveTuple& out) {
+  if (pkt.size() < sizeof(EthernetHeader)) return FiveTupleError::kNotIpv4;
   const auto* eth = pkt.at<EthernetHeader>(0);
-  if (be16_to_host(eth->ether_type) != kEtherTypeIpv4) return false;
+  if (be16_to_host(eth->ether_type) != kEtherTypeIpv4) return FiveTupleError::kNotIpv4;
+  if (pkt.size() < sizeof(EthernetHeader) + sizeof(Ipv4Header)) return FiveTupleError::kMalformed;
   const auto* ip = pkt.at<Ipv4Header>(sizeof(EthernetHeader));
+  if ((ip->version_ihl >> 4) != 4) return FiveTupleError::kMalformed;
+  const std::size_t ihl = ip->header_len();
+  if (ihl < sizeof(Ipv4Header)) return FiveTupleError::kMalformed;
+  if (pkt.size() < sizeof(EthernetHeader) + ihl) return FiveTupleError::kMalformed;
+  // total_length must cover the header and must not claim bytes the
+  // buffer does not hold (shorter is fine: Ethernet pads small frames).
+  const std::size_t total_len = be16_to_host(ip->total_length);
+  if (total_len < ihl || total_len > pkt.size() - sizeof(EthernetHeader)) {
+    return FiveTupleError::kMalformed;
+  }
   out.src_ip = be32_to_host(ip->src);
   out.dst_ip = be32_to_host(ip->dst);
   out.protocol = ip->protocol;
-  const std::size_t l4_off = sizeof(EthernetHeader) + ip->header_len();
+  const std::size_t l4_off = sizeof(EthernetHeader) + ihl;
   if (ip->protocol == kIpProtoUdp || ip->protocol == kIpProtoTcp) {
-    if (pkt.size() < l4_off + 4) return false;
+    if (pkt.size() < l4_off + 4) return FiveTupleError::kMalformed;
     // Ports sit at the same offsets in UDP and TCP.
     const auto* ports = pkt.at<std::uint16_t>(l4_off);
     out.src_port = be16_to_host(ports[0]);
@@ -43,7 +68,14 @@ inline bool extract_five_tuple(const Packet& pkt, FiveTuple& out) {
     out.src_port = 0;
     out.dst_port = 0;
   }
-  return true;
+  return FiveTupleError::kOk;
+}
+
+/// Extract the 5-tuple from an Ethernet/IPv4/{UDP,TCP} packet.
+/// Returns false for anything else (callers that care *why* use
+/// classify_five_tuple).
+inline bool extract_five_tuple(const Packet& pkt, FiveTuple& out) {
+  return classify_five_tuple(pkt, out) == FiveTupleError::kOk;
 }
 
 /// 64-bit mix hash of the 5-tuple (SplitMix-style finalizer). Fast and

@@ -1,5 +1,6 @@
 #include "net/pcap.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>
@@ -90,6 +91,12 @@ bool PcapReader::next(PcapPacket& out) {
   const std::uint32_t secs = u32(rec.data());
   const std::uint32_t frac = u32(rec.data() + 4);
   const std::uint32_t caplen = u32(rec.data() + 8);
+  // A corrupted length field must not become a multi-gigabyte allocation:
+  // no valid record exceeds the file's declared snaplen (cap at 256 KiB
+  // even if the global header claims more — jumbo frames top out far
+  // below that).
+  const std::uint32_t limit = std::min<std::uint32_t>(snaplen_ > 0 ? snaplen_ : 65535, 1u << 18);
+  if (caplen > limit) throw std::runtime_error("pcap: record caplen exceeds snaplen");
   out.timestamp_ns = static_cast<std::int64_t>(secs) * 1'000'000'000 +
                      static_cast<std::int64_t>(frac) * (nanosecond_ ? 1 : 1000);
   out.data.resize(caplen);

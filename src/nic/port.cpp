@@ -36,7 +36,7 @@ BasicPort<Sim>::BasicPort(Sim& sim, PortConfig cfg, TxCallback on_tx)
 }
 
 template <typename Sim>
-bool BasicPort<Sim>::rx(PacketDesc pkt) {
+bool BasicPort<Sim>::accept(const PacketDesc& pkt) {
   // Device-level processing cap (XL710 spec update #13): packets arriving
   // faster than the device can process are dropped at the MAC. Credit
   // accounting (next_accept_ advances by the per-packet budget, not to the
@@ -54,8 +54,31 @@ bool BasicPort<Sim>::rx(PacketDesc pkt) {
 }
 
 template <typename Sim>
+bool BasicPort<Sim>::rx(PacketDesc pkt) {
+  if (faults_ == nullptr) return accept(pkt);
+  // The injector decides how many copies (0, 1 or 2, possibly mutated or
+  // reordered) actually reach the MAC; each surviving copy runs the full
+  // healthy ingress body.
+  bool accepted = false;
+  faults_->ingress(pkt, [&](const PacketDesc& p) { accepted = accept(p) || accepted; });
+  return accepted;
+}
+
+template <typename Sim>
+void BasicPort<Sim>::set_fault_injector(fault::FaultInjector* faults) {
+  faults_ = faults;
+  for (auto& ring : rx_) ring->set_fault_injector(faults);
+}
+
+template <typename Sim>
 int BasicPort<Sim>::rx_burst(const PacketDesc* pkts, int n) {
   int accepted = 0;
+  if (faults_ != nullptr) {
+    // Faults are per packet, so a faulty burst is exactly n rx() calls —
+    // the fault stream is consumed in arrival order either way.
+    for (int i = 0; i < n; ++i) accepted += rx(pkts[i]) ? 1 : 0;
+    return accepted;
+  }
   // One load of the cap/RETA state for the whole group; the per-packet
   // body is the same accounting rx() performs.
   if (per_packet_ns_ > 0) {

@@ -50,14 +50,22 @@ class BasicPort {
   const PortConfig& config() const noexcept { return cfg_; }
 
   /// NIC-side ingress: RSS-dispatch one descriptor. Returns false if the
-  /// packet was dropped (ring full or device cap exceeded).
+  /// packet was dropped (fault plane, ring full or device cap exceeded).
   bool rx(PacketDesc pkt);
 
   /// Ingress of `n` descriptors with non-decreasing arrival times (a
   /// feeder group). Semantically identical to n rx() calls — same cap
   /// accounting, same RSS dispatch, same drop counters — but one call per
   /// group instead of one per packet. Returns how many were accepted.
+  /// With a fault plane attached the burst degrades to the per-packet
+  /// path, because faults are defined per packet (drop / corrupt / dup /
+  /// reorder decisions consume the fault stream in arrival order).
   int rx_burst(const PacketDesc* pkts, int n);
+
+  /// Attach (or detach, with nullptr) the deterministic fault plane.
+  /// Plumbs the stall hook into every rx ring as well. The injector must
+  /// outlive the port; a null injector restores the healthy fast path.
+  void set_fault_injector(fault::FaultInjector* faults);
 
   // --- counters ---------------------------------------------------------
   std::uint64_t total_rx() const noexcept { return total_rx_; }
@@ -71,11 +79,16 @@ class BasicPort {
   void register_metrics(stats::MetricSet& set, const std::string& prefix);
 
  private:
+  /// The healthy ingress body (cap accounting + RSS dispatch); rx() is the
+  /// fault-plane wrapper around it.
+  bool accept(const PacketDesc& pkt);
+
   Sim& sim_;
   PortConfig cfg_;
   RssReta reta_;
   std::vector<std::unique_ptr<BasicRxRing<Sim>>> rx_;
   BasicTxRing<Sim> tx_ring_;
+  fault::FaultInjector* faults_ = nullptr;  // borrowed; nullptr = healthy
   std::uint64_t total_rx_ = 0;
   std::uint64_t cap_drops_ = 0;
   /// Device pacing: earliest time the NIC can accept the next packet.

@@ -30,6 +30,7 @@
 #include <cstring>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "nic/sim_packet.hpp"
 #include "sim/simulation.hpp"
 #include "stats/metric_set.hpp"
@@ -59,6 +60,13 @@ class BasicRxRing {
   /// empty ring (every driver drains before waiting), so only the
   /// empty→non-empty transition can have an audience.
   bool push(const PacketDesc& pkt) {
+    // A stalled ring behaves exactly like a full one: DMA writes that land
+    // during the stall window are tail-dropped (imissed). The check is one
+    // predicted-false branch when no fault plane is attached.
+    if (faults_ != nullptr && faults_->rx_stalled(pkt.arrival)) {
+      ++dropped_;
+      return false;
+    }
     if (count_ == capacity_) {
       ++dropped_;
       return false;
@@ -107,6 +115,10 @@ class BasicRxRing {
     set.attach_counter(prefix + ".dropped", dropped_);
   }
 
+  /// Attach (or detach, with nullptr) the fault plane's stall hook. The
+  /// injector must outlive the ring; normally wired by BasicPort.
+  void set_fault_injector(fault::FaultInjector* faults) noexcept { faults_ = faults; }
+
  private:
   std::size_t capacity_;  // logical capacity (full threshold)
   std::size_t mask_;      // storage size - 1 (power of two)
@@ -116,6 +128,7 @@ class BasicRxRing {
   std::size_t count_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_ = 0;
+  fault::FaultInjector* faults_ = nullptr;  // borrowed; nullptr = healthy
   sim::BasicSignal<Sim> arrival_signal_;
 };
 

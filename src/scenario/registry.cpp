@@ -114,6 +114,54 @@ std::vector<ScenarioSpec> build_registry() {
     reg.push_back(std::move(s));
   }
 
+  // --- fault-plane scenarios (src/fault/) -------------------------------
+  // Adverse-condition coverage: the same testbeds as the healthy
+  // scenarios, with a FaultSpec layered on. Flap/stall periods are in the
+  // low milliseconds so several windows fire even inside the benches'
+  // --fast measurement windows.
+  {
+    ScenarioSpec s{"cbr_lossy",
+                   "CBR under a lossy link: 2% drop, 0.5% duplication, 1% reordering",
+                   x520_base()};
+    s.config.workload.rate_mpps = 10.0;
+    s.config.workload.n_flows = 256;
+    s.config.workload.fault.drop_prob = 0.02;
+    s.config.workload.fault.dup_prob = 0.005;
+    s.config.workload.fault.reorder_prob = 0.01;
+    reg.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s{"imix_corrupt",
+                   "IMIX stream with 5% header bit-flip corruption (RSS hash + wire size)",
+                   x520_base()};
+    s.config.workload.rate_mpps = 8.0;
+    s.config.workload.imix = true;
+    s.config.workload.n_flows = 256;
+    s.config.workload.fault.corrupt_prob = 0.05;
+    reg.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s{"poisson_linkflap",
+                   "Poisson arrivals through a flapping link: 300 us outage every 3 ms",
+                   x520_base()};
+    s.config.workload.rate_mpps = 10.0;
+    s.config.workload.poisson = true;
+    s.config.workload.n_flows = 256;
+    s.config.workload.fault.link_down_every = 3 * sim::kMillisecond;
+    s.config.workload.fault.link_down_for = 300 * sim::kMicrosecond;
+    reg.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s{"incast_stall",
+                   "fig13 incast with a wedged rx ring: 200 us stall every 2 ms",
+                   fig13_testbed()};
+    s.config.workload.model = ArrivalModel::kIncast;
+    s.config.workload.rate_mpps = 10.0;
+    s.config.workload.fault.stall_every = 2 * sim::kMillisecond;
+    s.config.workload.fault.stall_for = 200 * sim::kMicrosecond;
+    reg.push_back(std::move(s));
+  }
+
   return reg;
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -21,15 +20,40 @@ const char* backend_name(BackendKind kind) noexcept {
 namespace {
 
 template <typename Sim>
-ShardResult run_shard_typed(const Shard& shard) {
+ShardResult run_shard_typed(const Shard& shard, double deadline_s) {
   const auto t0 = std::chrono::steady_clock::now();
   apps::BasicTestbed<Sim> bed(shard.config);
+  // Cooperative watchdog: with a deadline set, each virtual-time phase is
+  // sliced and the host clock checked between slices. run_until(t) runs
+  // every event at <= t and then advances the clock to exactly t, so the
+  // slicing is execution-equivalent — same events, same order, same
+  // fingerprint — and only the *wall* behaviour changes.
+  const auto run_to = [&](sim::Time from, sim::Time target) {
+    if (deadline_s <= 0.0) {
+      bed.run_until(target);
+      return;
+    }
+    const auto deadline =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(deadline_s));
+    constexpr sim::Time kSlices = 32;
+    for (sim::Time s = 1; s <= kSlices; ++s) {
+      bed.run_until(s == kSlices ? target : from + (target - from) * s / kSlices);
+      if (std::chrono::steady_clock::now() > deadline) {
+        // Deterministic text (no timing values): failed reports must stay
+        // byte-identical across worker counts.
+        throw std::runtime_error(std::string("shard wall-clock deadline exceeded (scenario '") +
+                                 shard.scenario + "', backend " + backend_name(shard.backend) +
+                                 ")");
+      }
+    }
+  };
   bed.start();
-  bed.run_until(shard.config.warmup);
+  run_to(0, shard.config.warmup);
   bed.begin_measurement();
   ShardResult out;
   out.pending_at_measure = bed.sim().pending_events();
-  bed.run_until(shard.config.warmup + shard.config.measure);
+  run_to(shard.config.warmup, shard.config.warmup + shard.config.measure);
   out.result = bed.finish_measurement();
   // The full telemetry set *is* the shard's observable state: snapshot it
   // once, fingerprint it (order-sensitive over every counter, summary and
@@ -52,11 +76,11 @@ ShardResult run_shard_typed(const Shard& shard) {
   return out;
 }
 
-ShardResult run_shard(const Shard& shard) {
+ShardResult run_shard(const Shard& shard, double deadline_s) {
   if (shard.backend == BackendKind::kHeap) {
-    return run_shard_typed<sim::Simulation>(shard);
+    return run_shard_typed<sim::Simulation>(shard, deadline_s);
   }
-  return run_shard_typed<sim::LadderSimulation>(shard);
+  return run_shard_typed<sim::LadderSimulation>(shard, deadline_s);
 }
 
 }  // namespace
@@ -104,6 +128,33 @@ std::vector<Shard> SweepRunner::expand(const SweepMatrix& matrix) {
   return shards;
 }
 
+ShardResult SweepRunner::execute(const Shard& shard) const {
+  // Exception isolation + retry: any throw (configuration error, merge
+  // mismatch, deadline) is captured into the result instead of unwinding
+  // into the worker (which, pre-hardening, std::terminated the process
+  // when a second shard threw, and killed the whole sweep either way).
+  ShardResult out;
+  const int max_attempts = 1 + max_retries_;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    try {
+      out = run_shard(shard, deadline_s_);
+      out.attempts = attempt;
+      return out;
+    } catch (const std::exception& e) {
+      out = ShardResult{};
+      out.failed = true;
+      out.attempts = attempt;
+      out.error = e.what();
+    } catch (...) {
+      out = ShardResult{};
+      out.failed = true;
+      out.attempts = attempt;
+      out.error = "unknown exception";
+    }
+  }
+  return out;
+}
+
 std::vector<ShardResult> SweepRunner::run(const std::vector<Shard>& shards) const {
   std::vector<ShardResult> results(shards.size());
   if (shards.empty()) return results;
@@ -111,36 +162,57 @@ std::vector<ShardResult> SweepRunner::run(const std::vector<Shard>& shards) cons
   const int workers = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), shards.size()));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < shards.size(); ++i) results[i] = run_shard(shards[i]);
+    for (std::size_t i = 0; i < shards.size(); ++i) results[i] = execute(shards[i]);
     return results;
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= shards.size()) return;
-      try {
-        results[i] = run_shard(shards[i]);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
+      results[i] = execute(shards[i]);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
   return results;
+}
+
+std::size_t failed_count(const std::vector<ShardResult>& results) {
+  std::size_t n = 0;
+  for (const ShardResult& r : results) n += r.failed ? 1 : 0;
+  return n;
+}
+
+std::string failure_summary(const std::vector<Shard>& shards,
+                            const std::vector<ShardResult>& results) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < shards.size() && i < results.size(); ++i) {
+    if (!results[i].failed) continue;
+    os << "shard " << i << " [" << shards[i].scenario << "/" << backend_name(shards[i].backend)
+       << " @ " << shards[i].config.workload.rate_mpps << " Mpps] failed after "
+       << results[i].attempts << (results[i].attempts == 1 ? " attempt: " : " attempts: ")
+       << results[i].error << "\n";
+  }
+  return os.str();
 }
 
 stats::MetricSnapshot merge_telemetry(const std::vector<ShardResult>& results) {
   stats::MetricSnapshot total;
-  for (const ShardResult& r : results) total.merge(r.telemetry);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].failed) continue;  // nothing to merge; listed in `failures`
+    try {
+      total.merge(results[i].telemetry);
+    } catch (const std::exception& e) {
+      // Shard index context on top of the metric-name context added by
+      // MetricSnapshot::merge — the pair makes a geometry mismatch in a
+      // 100-shard sweep directly actionable.
+      throw std::invalid_argument("merge_telemetry: shard " + std::to_string(i) + ": " + e.what());
+    }
+  }
   return total;
 }
 
@@ -180,9 +252,52 @@ std::string report_json(const std::vector<Shard>& shards,
     w.kv("loss_permille", r.result.loss_permille);
     w.kv("cpu_percent", r.result.cpu_percent);
     w.kv("package_watts", r.result.package_watts);
+    w.kv("failed", r.failed);
+    w.kv("attempts", r.attempts);
+    if (r.failed) w.kv("error", r.error);
     if (include_timing) w.kv("wall_seconds", r.wall_seconds);
     w.key("metrics");
     r.telemetry.write_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  // Every failed shard again, by itself: the section a red CI run is read
+  // from (and the section tests assert a deliberately-throwing shard
+  // lands in). Always present, empty on a clean sweep.
+  w.key("failures").begin_array();
+  for (std::size_t i = 0; i < shards.size() && i < results.size(); ++i) {
+    if (!results[i].failed) continue;
+    const Shard& s = shards[i];
+    w.begin_object();
+    w.kv("shard", static_cast<std::uint64_t>(i));
+    w.kv("scenario", s.scenario);
+    w.kv("backend", backend_name(s.backend));
+    w.kv("rate_mpps", s.config.workload.rate_mpps);
+    w.kv("seed", s.config.seed);
+    w.kv("attempts", results[i].attempts);
+    w.kv("error", results[i].error);
+    w.end_object();
+  }
+  w.end_array();
+  // Fault-plane read-out for every fault-bearing shard: the six injector
+  // counters next to the shard's identity and fingerprint. Always
+  // present, empty when no shard carries a FaultSpec.
+  w.key("fault_matrix").begin_array();
+  for (std::size_t i = 0; i < shards.size() && i < results.size(); ++i) {
+    const Shard& s = shards[i];
+    const ShardResult& r = results[i];
+    if (!s.config.workload.fault.any() || r.failed) continue;
+    w.begin_object();
+    w.kv("shard", static_cast<std::uint64_t>(i));
+    w.kv("scenario", s.scenario);
+    w.kv("backend", backend_name(s.backend));
+    w.kv("rate_mpps", s.config.workload.rate_mpps);
+    w.kv("telemetry_fingerprint", r.fingerprint);
+    for (const char* name : {"dropped", "corrupted", "dup", "reordered", "link_down_ns",
+                             "stall_ns"}) {
+      const auto* entry = r.telemetry.find(std::string("fault.") + name);
+      w.kv(name, entry != nullptr ? entry->counter : 0);
+    }
     w.end_object();
   }
   w.end_array();

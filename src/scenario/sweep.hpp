@@ -76,6 +76,17 @@ struct ShardResult {
   std::uint64_t latency_count = 0;     ///< latency histogram sample count
   apps::ExperimentResult result;       ///< measurement-window observables
   double wall_seconds = 0.0;           ///< host time; NOT deterministic
+
+  // --- failure capture (hardened runner) --------------------------------
+  /// True when every attempt at this shard threw (or hit the wall-clock
+  /// deadline); the other fields are default-initialised in that case.
+  bool failed = false;
+  /// what() of the last attempt's exception; deterministic for
+  /// deterministic failures (configuration errors throw the same text on
+  /// every worker count and backend).
+  std::string error;
+  /// How many times the shard was attempted (1 = first try succeeded).
+  int attempts = 1;
 };
 
 /// A declarative parameter matrix over registered scenarios. Empty axis =
@@ -106,28 +117,67 @@ class SweepRunner {
 
   /// Run every shard (in parallel up to the job count) and return results
   /// in shard order. Results are bit-identical for any job count.
+  ///
+  /// Hardened execution: a shard that throws no longer takes down the
+  /// sweep (or, worse, std::terminates the process from a worker thread).
+  /// The exception is captured into ShardResult::failed/error, the shard
+  /// is retried up to max_retries() times (a deterministic failure fails
+  /// identically; a wall-clock deadline may clear on a quieter machine),
+  /// and every *other* shard still runs to completion. Callers decide the
+  /// exit status from failed_count().
   std::vector<ShardResult> run(const std::vector<Shard>& shards) const;
 
   int jobs() const noexcept { return jobs_; }
 
+  /// Per-shard wall-clock deadline in seconds; <= 0 (the default)
+  /// disables the watchdog. Enforced cooperatively: the shard's virtual-
+  /// time run is sliced and the host clock checked between slices, so a
+  /// wedged shard fails with a deterministic "deadline exceeded" error
+  /// instead of hanging the sweep. Slicing run_until is execution-
+  /// equivalent (events fire at the same virtual times), so the watchdog
+  /// never perturbs results.
+  void set_shard_deadline(double seconds) noexcept { deadline_s_ = seconds; }
+  double shard_deadline() const noexcept { return deadline_s_; }
+
+  /// Retries per failed shard (default 1, the "one deterministic retry").
+  void set_max_retries(int retries) noexcept { max_retries_ = retries < 0 ? 0 : retries; }
+  int max_retries() const noexcept { return max_retries_; }
+
  private:
+  ShardResult execute(const Shard& shard) const;
+
   int jobs_;
+  double deadline_s_ = 0.0;
+  int max_retries_ = 1;
 };
+
+/// Number of shards whose every attempt failed.
+std::size_t failed_count(const std::vector<ShardResult>& results);
+
+/// Human-readable per-shard failure lines ("shard 3 [cbr_lossy/ladder @
+/// 10 Mpps] failed after 2 attempts: ..."), empty when nothing failed.
+/// Benches print this to stderr before exiting nonzero.
+std::string failure_summary(const std::vector<Shard>& shards,
+                            const std::vector<ShardResult>& results);
 
 /// Deterministically merge every shard's telemetry into one snapshot, in
 /// shard order (union by name: counters add, summaries/histograms merge —
 /// see stats::MetricSnapshot::merge). Shards of different shapes (other
 /// drivers, other queue counts) union cleanly; a same-named histogram
-/// with a different geometry throws.
+/// with a different geometry throws, with the shard index and metric name
+/// in the message. Failed shards are skipped (their telemetry is empty).
 stats::MetricSnapshot merge_telemetry(const std::vector<ShardResult>& results);
 
 /// Merge shards + results into one JSON report (shard order preserved),
 /// emitted through stats::JsonWriter — the single JSON path. Per shard:
-/// the identifying axes, headline counters, `telemetry_fingerprint` and
-/// the full `metrics` object; a trailing `totals` object carries
-/// merge_telemetry() over all shards. `include_timing` adds per-shard
-/// wall_seconds — the one nondeterministic field; leave it off when
-/// comparing reports across worker counts.
+/// the identifying axes, headline counters, `telemetry_fingerprint`,
+/// `failed`/`attempts` (plus `error` when failed) and the full `metrics`
+/// object; a trailing `failures` array lists every failed shard, a
+/// `fault_matrix` array summarises the fault-plane counters of every
+/// fault-bearing shard, and a `totals` object carries merge_telemetry()
+/// over all shards. `include_timing` adds per-shard wall_seconds — the
+/// one nondeterministic field; leave it off when comparing reports across
+/// worker counts.
 std::string report_json(const std::vector<Shard>& shards,
                         const std::vector<ShardResult>& results, bool include_timing);
 

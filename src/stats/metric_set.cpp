@@ -147,11 +147,18 @@ void MetricSnapshot::merge(const MetricSnapshot& other) {
       continue;
     }
     if (mine->kind != o.kind) throw_kind_mismatch(o.name, mine->kind, o.kind);
-    switch (o.kind) {
-      case MetricKind::kCounter: mine->counter += o.counter; break;
-      case MetricKind::kGauge: mine->gauge += o.gauge; break;
-      case MetricKind::kSummary: mine->summary.merge(o.summary); break;
-      case MetricKind::kHistogram: mine->histogram->merge(*o.histogram); break;
+    try {
+      switch (o.kind) {
+        case MetricKind::kCounter: mine->counter += o.counter; break;
+        case MetricKind::kGauge: mine->gauge += o.gauge; break;
+        case MetricKind::kSummary: mine->summary.merge(o.summary); break;
+        case MetricKind::kHistogram: mine->histogram->merge(*o.histogram); break;
+      }
+    } catch (const std::exception& e) {
+      // Name the diverging metric: "Histogram::merge: bin_width mismatch"
+      // alone is useless in a sweep failure report with dozens of
+      // registered histograms.
+      throw std::invalid_argument("MetricSnapshot::merge: metric '" + o.name + "': " + e.what());
     }
   }
 }

@@ -1,0 +1,143 @@
+// Bench CLI parsing policy (bench/common.hpp): strict, fail-at-launch.
+//
+// A typoed flag on an overnight sweep used to silently run defaults and
+// produce wrong-but-plausible numbers; try_parse_args/try_parse_fast are
+// the testable cores behind the exiting wrappers, so the policy is pinned
+// here without spawning processes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace metro::bench {
+namespace {
+
+/// argv builder: parse("--fast", "--jobs=4") -> try_parse_args result.
+struct Parsed {
+  bool ok = false;
+  Args args;
+  std::string error;
+};
+
+Parsed parse(std::vector<std::string> flags,
+             BackendChoice def_backend = BackendChoice::kBoth, int def_jobs = 2) {
+  std::vector<char*> argv;
+  std::string argv0 = "bench_test";
+  argv.push_back(argv0.data());
+  for (auto& f : flags) argv.push_back(f.data());
+  Parsed p;
+  p.ok = try_parse_args(static_cast<int>(argv.size()), argv.data(), def_backend, def_jobs,
+                        p.args, p.error);
+  return p;
+}
+
+TEST(BenchArgsTest, NoFlagsKeepsDefaults) {
+  const auto p = parse({}, BackendChoice::kHeap, 3);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_FALSE(p.args.fast);
+  EXPECT_FALSE(p.args.list);
+  EXPECT_EQ(p.args.backend, BackendChoice::kHeap);
+  EXPECT_EQ(p.args.jobs, 3);
+  EXPECT_TRUE(p.args.trace.empty());
+  EXPECT_TRUE(p.args.only.empty());
+  EXPECT_EQ(p.args.deadline_s, 0.0);
+}
+
+TEST(BenchArgsTest, AllFlagsParse) {
+  const auto p = parse({"--fast", "--backend=ladder", "--jobs=8", "--trace=cap.pcap",
+                        "--only=cbr_lossy,imix_corrupt", "--deadline=30", "--list"});
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.args.fast);
+  EXPECT_TRUE(p.args.list);
+  EXPECT_EQ(p.args.backend, BackendChoice::kLadder);
+  EXPECT_EQ(p.args.jobs, 8);
+  EXPECT_EQ(p.args.trace, "cap.pcap");
+  ASSERT_EQ(p.args.only.size(), 2u);
+  EXPECT_EQ(p.args.only[0], "cbr_lossy");
+  EXPECT_EQ(p.args.only[1], "imix_corrupt");
+  EXPECT_DOUBLE_EQ(p.args.deadline_s, 30.0);
+}
+
+TEST(BenchArgsTest, UnknownFlagRejectedWithTheOffendingSpelling) {
+  // The motivating typo: --backed must not silently run both backends.
+  const auto p = parse({"--backed=ladder"});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--backed=ladder"), std::string::npos) << p.error;
+  ASSERT_FALSE(parse({"--fats"}).ok);
+  ASSERT_FALSE(parse({"extra_positional"}).ok);
+  ASSERT_FALSE(parse({"--fast", "--nonsense"}).ok) << "later flags are checked too";
+}
+
+TEST(BenchArgsTest, BackendValueValidated) {
+  EXPECT_EQ(parse({"--backend=heap"}).args.backend, BackendChoice::kHeap);
+  EXPECT_EQ(parse({"--backend=both"}).args.backend, BackendChoice::kBoth);
+  const auto p = parse({"--backend=lader"});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("lader"), std::string::npos);
+}
+
+TEST(BenchArgsTest, JobsMustBeAWholeNumberInRange) {
+  EXPECT_EQ(parse({"--jobs=1"}).args.jobs, 1);
+  EXPECT_EQ(parse({"--jobs=1024"}).args.jobs, 1024);
+  EXPECT_FALSE(parse({"--jobs=0"}).ok);
+  EXPECT_FALSE(parse({"--jobs=-2"}).ok);
+  EXPECT_FALSE(parse({"--jobs=1025"}).ok);
+  EXPECT_FALSE(parse({"--jobs=abc"}).ok);
+  EXPECT_FALSE(parse({"--jobs=4x"}).ok) << "trailing garbage is malformed, not ignored";
+  EXPECT_FALSE(parse({"--jobs="}).ok);
+}
+
+TEST(BenchArgsTest, TraceNeedsAPath) {
+  EXPECT_FALSE(parse({"--trace="}).ok);
+}
+
+TEST(BenchArgsTest, OnlySplitsOnCommasAndSkipsEmpties) {
+  const auto p = parse({"--only=a,,b,"});
+  ASSERT_TRUE(p.ok) << p.error;
+  ASSERT_EQ(p.args.only.size(), 2u);
+  EXPECT_EQ(p.args.only[0], "a");
+  EXPECT_EQ(p.args.only[1], "b");
+  EXPECT_FALSE(parse({"--only="}).ok);
+  EXPECT_FALSE(parse({"--only=,,"}).ok);
+}
+
+TEST(BenchArgsTest, DeadlineMustBePositiveSeconds) {
+  EXPECT_DOUBLE_EQ(parse({"--deadline=0.5"}).args.deadline_s, 0.5);
+  EXPECT_FALSE(parse({"--deadline=0"}).ok);
+  EXPECT_FALSE(parse({"--deadline=-1"}).ok);
+  EXPECT_FALSE(parse({"--deadline=soon"}).ok);
+  EXPECT_FALSE(parse({"--deadline=1.5s"}).ok);
+  EXPECT_FALSE(parse({"--deadline="}).ok);
+}
+
+TEST(BenchArgsTest, UsageTextMentionsEveryFlag) {
+  const std::string usage = usage_text();
+  for (const char* flag : {"--fast", "--backend", "--jobs", "--trace", "--list", "--only",
+                           "--deadline"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(BenchArgsTest, ParseFastAcceptsOnlyFast) {
+  std::string argv0 = "bench_fig", f1 = "--fast";
+  std::array<char*, 2> ok_argv{argv0.data(), f1.data()};
+  bool fast = false;
+  std::string error;
+  ASSERT_TRUE(try_parse_fast(2, ok_argv.data(), fast, error));
+  EXPECT_TRUE(fast);
+  ASSERT_TRUE(try_parse_fast(1, ok_argv.data(), fast, error));
+  EXPECT_FALSE(fast) << "no flags: full windows";
+
+  // The single-flag benches reject sweep flags too — --jobs on a bench
+  // whose headline is wall time would silently mean nothing.
+  std::string f2 = "--jobs=4";
+  std::array<char*, 2> bad_argv{argv0.data(), f2.data()};
+  ASSERT_FALSE(try_parse_fast(2, bad_argv.data(), fast, error));
+  EXPECT_NE(error.find("--jobs=4"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace metro::bench

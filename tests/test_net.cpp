@@ -163,6 +163,9 @@ TEST(FlowTest, ExtractFiveTupleFromUdp) {
   eth->ether_type = host_to_be16(kEtherTypeIpv4);
   auto* ip = p.at<Ipv4Header>(sizeof(EthernetHeader));
   ip->version_ihl = 0x45;
+  // The hardened classifier validates total_length; a zeroed field is a
+  // malformed frame, so hand-built packets must fill it in.
+  ip->total_length = host_to_be16(50);  // 64 B frame minus the Ethernet header
   ip->protocol = kIpProtoUdp;
   ip->src = host_to_be32(ipv4_addr(1, 1, 1, 1));
   ip->dst = host_to_be32(ipv4_addr(2, 2, 2, 2));
@@ -193,6 +196,7 @@ TEST(FlowTest, NonL4ProtocolHasZeroPorts) {
   p.at<EthernetHeader>(0)->ether_type = host_to_be16(kEtherTypeIpv4);
   auto* ip = p.at<Ipv4Header>(sizeof(EthernetHeader));
   ip->version_ihl = 0x45;
+  ip->total_length = host_to_be16(50);
   ip->protocol = 1;  // ICMP
   FiveTuple t;
   ASSERT_TRUE(extract_five_tuple(p, t));

@@ -1,0 +1,158 @@
+// PcapReader error paths: every way a trace file can be malformed must
+// surface as a typed exception with a diagnosable message — never a
+// silent short read, never an attacker-controlled allocation. The
+// fault-plane scenarios replay traces under adverse conditions, so the
+// reader is part of the hardened surface.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/pcap.hpp"
+
+namespace metro::net {
+namespace {
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 4);
+}
+void put_u16(std::ostream& out, std::uint16_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 2);
+}
+
+/// A well-formed classic (microsecond) global header.
+std::string global_header(std::uint32_t snaplen = 65535) {
+  std::ostringstream out;
+  put_u32(out, 0xa1b2c3d4);
+  put_u16(out, 2);
+  put_u16(out, 4);
+  put_u32(out, 0);        // thiszone
+  put_u32(out, 0);        // sigfigs
+  put_u32(out, snaplen);
+  put_u32(out, 1);        // LINKTYPE_ETHERNET
+  return out.str();
+}
+
+/// One record header (+ optionally short payload bytes).
+std::string record(std::uint32_t caplen, std::uint32_t payload_bytes) {
+  std::ostringstream out;
+  put_u32(out, 1);  // ts seconds
+  put_u32(out, 2);  // ts micros
+  put_u32(out, caplen);
+  put_u32(out, caplen);  // origlen
+  for (std::uint32_t i = 0; i < payload_bytes; ++i) out.put('\0');
+  return out.str();
+}
+
+void expect_throw_containing(const std::string& bytes, const std::string& needle) {
+  std::istringstream in(bytes);
+  try {
+    PcapReader::read_all(in);
+    FAIL() << "expected a throw mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(PcapErrorTest, RoundTripStillWorks) {
+  // Baseline: the writer's output parses cleanly (the error paths below
+  // must not have broken the healthy one).
+  std::stringstream io;
+  PcapWriter writer(io);
+  PcapPacket pkt;
+  pkt.timestamp_ns = 5'000'000;
+  pkt.data.assign(60, 0xab);
+  writer.write(pkt);
+  const auto packets = PcapReader::read_all(io);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].data.size(), 60u);
+  EXPECT_EQ(packets[0].timestamp_ns, 5'000'000);
+}
+
+TEST(PcapErrorTest, EmptyStreamIsTruncatedHeader) {
+  expect_throw_containing("", "truncated global header");
+}
+
+TEST(PcapErrorTest, ShortGlobalHeader) {
+  expect_throw_containing(global_header().substr(0, 17), "truncated global header");
+}
+
+TEST(PcapErrorTest, BadMagic) {
+  std::string bytes = global_header();
+  bytes[0] = 'G';
+  bytes[1] = 'E';
+  bytes[2] = 'T';
+  bytes[3] = ' ';  // an HTTP response fed to the trace loader, say
+  expect_throw_containing(bytes, "bad magic");
+}
+
+TEST(PcapErrorTest, TruncatedRecordHeader) {
+  expect_throw_containing(global_header() + record(60, 60).substr(0, 7),
+                          "truncated record header");
+}
+
+TEST(PcapErrorTest, TruncatedPacketData) {
+  // Header promises 60 bytes, file ends after 10.
+  expect_throw_containing(global_header() + record(60, 10), "truncated packet data");
+}
+
+TEST(PcapErrorTest, CaplenBeyondSnaplenRejectedBeforeAllocating) {
+  // A corrupted caplen of ~1 GiB must be rejected up front (no attempt to
+  // allocate or read it): no record can exceed the declared snaplen.
+  expect_throw_containing(global_header(1500) + record(1u << 30, 0),
+                          "caplen exceeds snaplen");
+}
+
+TEST(PcapErrorTest, HugeSnaplenStillCapped) {
+  // Even a file whose *header* declares an absurd snaplen can't make the
+  // reader swallow a multi-megabyte "record": the cap is min(snaplen,
+  // 256 KiB).
+  expect_throw_containing(global_header(0xffffffffu) + record(1u << 20, 0),
+                          "caplen exceeds snaplen");
+}
+
+TEST(PcapErrorTest, RecordsBeforeTheCorruptionAreReturnedOnThrow) {
+  // next() is incremental: valid leading records parse fine and the throw
+  // happens exactly at the corrupt one.
+  std::istringstream in(global_header() + record(8, 8) + record(60, 10));
+  PcapReader reader(in);
+  PcapPacket pkt;
+  ASSERT_TRUE(reader.next(pkt));
+  EXPECT_EQ(pkt.data.size(), 8u);
+  EXPECT_THROW(reader.next(pkt), std::runtime_error);
+}
+
+TEST(PcapErrorTest, ByteSwappedFilesParse) {
+  // Opposite-endian capture: magic, snaplen and record fields all swap.
+  const auto swap = [](std::uint32_t v) {
+    return ((v & 0xffu) << 24) | ((v & 0xff00u) << 8) | ((v >> 8) & 0xff00u) | (v >> 24);
+  };
+  std::ostringstream out;
+  put_u32(out, 0xd4c3b2a1);
+  put_u16(out, 0x0200);
+  put_u16(out, 0x0400);
+  put_u32(out, 0);
+  put_u32(out, 0);
+  put_u32(out, swap(65535));
+  put_u32(out, swap(1));
+  put_u32(out, swap(1));   // ts sec
+  put_u32(out, swap(0));   // ts usec
+  put_u32(out, swap(16));  // caplen
+  put_u32(out, swap(16));  // origlen
+  for (int i = 0; i < 16; ++i) out.put(static_cast<char>(i));
+  std::istringstream in(out.str());
+  PcapReader reader(in);
+  EXPECT_TRUE(reader.byte_swapped());
+  EXPECT_EQ(reader.snaplen(), 65535u);
+  PcapPacket pkt;
+  ASSERT_TRUE(reader.next(pkt));
+  EXPECT_EQ(pkt.data.size(), 16u);
+  EXPECT_EQ(pkt.timestamp_ns, 1'000'000'000);
+  EXPECT_FALSE(reader.next(pkt));
+}
+
+}  // namespace
+}  // namespace metro::net
