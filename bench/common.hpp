@@ -7,16 +7,17 @@
 //
 // Common CLI flags (parse_args() is the one shared parser):
 //   --fast                shrink the measurement windows (CI smoke mode)
-//   --backend=heap|ladder|both
+//   --backend=heap|ladder|wheel|both|all
 //                         which event-queue backend(s) the bench drives.
 //                         The full app stack is generic over the backend,
 //                         so the figure benches honour this flag too:
-//                         kernel_throughput, fig13/14 and scenario_matrix
-//                         default to both (fig13 and scenario_matrix
-//                         cross-check that the backends produce identical
-//                         packet counters); the remaining figure benches
-//                         default to heap, the traditional
-//                         figure-generation path.
+//                         "both" is the historical heap+ladder pair, "all"
+//                         adds the timing wheel. kernel_throughput,
+//                         fig13/14 and scenario_matrix default to all
+//                         (fig13 and scenario_matrix cross-check that the
+//                         backends produce identical packet counters); the
+//                         remaining figure benches default to heap, the
+//                         traditional figure-generation path.
 //   --jobs=N              worker threads for benches that sweep through
 //                         scenario::SweepRunner. Results are bit-identical
 //                         for any N; only wall time changes. Benches whose
@@ -54,17 +55,27 @@
 
 namespace metro::bench {
 
-/// Event-queue backend selection.
-enum class BackendChoice { kHeap, kLadder, kBoth };
+/// Event-queue backend selection. kBoth is the historical heap+ladder
+/// pair (scripts predating the wheel keep their meaning); kAll is every
+/// backend the kernel has.
+enum class BackendChoice { kHeap, kLadder, kWheel, kBoth, kAll };
 
-inline bool use_heap(BackendChoice c) { return c != BackendChoice::kLadder; }
-inline bool use_ladder(BackendChoice c) { return c != BackendChoice::kHeap; }
+inline bool use_heap(BackendChoice c) {
+  return c == BackendChoice::kHeap || c == BackendChoice::kBoth || c == BackendChoice::kAll;
+}
+inline bool use_ladder(BackendChoice c) {
+  return c == BackendChoice::kLadder || c == BackendChoice::kBoth || c == BackendChoice::kAll;
+}
+inline bool use_wheel(BackendChoice c) {
+  return c == BackendChoice::kWheel || c == BackendChoice::kAll;
+}
 
 /// The enabled backends as SweepRunner shard kinds, heap first.
 inline std::vector<scenario::BackendKind> backend_kinds(BackendChoice c) {
   std::vector<scenario::BackendKind> out;
   if (use_heap(c)) out.push_back(scenario::BackendKind::kHeap);
   if (use_ladder(c)) out.push_back(scenario::BackendKind::kLadder);
+  if (use_wheel(c)) out.push_back(scenario::BackendKind::kWheel);
   return out;
 }
 
@@ -93,7 +104,7 @@ struct Args {
 inline const char* usage_text() {
   return "flags:\n"
          "  --fast               shrink measurement windows (CI smoke mode)\n"
-         "  --backend=heap|ladder|both\n"
+         "  --backend=heap|ladder|wheel|both|all\n"
          "  --jobs=N             sweep worker threads (1..1024)\n"
          "  --trace=<file>       external pcap for kTrace scenarios\n"
          "  --list               print registered scenario names and exit\n"
@@ -125,10 +136,14 @@ inline bool try_parse_args(int argc, char** argv, BackendChoice def_backend, int
         out.backend = BackendChoice::kHeap;
       } else if (v == "ladder") {
         out.backend = BackendChoice::kLadder;
+      } else if (v == "wheel") {
+        out.backend = BackendChoice::kWheel;
       } else if (v == "both") {
         out.backend = BackendChoice::kBoth;
+      } else if (v == "all") {
+        out.backend = BackendChoice::kAll;
       } else {
-        error = "unknown --backend value '" + v + "' (heap|ladder|both)";
+        error = "unknown --backend value '" + v + "' (heap|ladder|wheel|both|all)";
         return false;
       }
     } else if (arg.rfind("--jobs=", 0) == 0) {

@@ -4,7 +4,8 @@
 // core per queue) is the reference line.
 //
 // The full app stack is generic over the event-queue backend, so the bench
-// takes --backend=heap|ladder|both (default both). With both enabled every
+// takes --backend=heap|ladder|wheel|both|all (default all). With more than
+// one backend enabled every
 // configuration runs on each backend and the bench *fails* (exit 1) if any
 // run's telemetry fingerprint diverges — every registered counter and
 // latency-histogram bin across every layer — because the two backends must
@@ -65,7 +66,7 @@ apps::ExperimentConfig metronome_config(sim::Governor governor, int queues, int 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kBoth,
+  const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kAll,
                                       bench::default_jobs());
   const auto w = bench::windows(args.fast);
   const auto backends = bench::backend_kinds(args.backend);

@@ -14,9 +14,10 @@
 //     scenarios, so the JSON records the speedup of the allocation-free
 //     kernel over its predecessor on the same machine, same build, same
 //     run;
-//   * heap vs. ladder backend — every kernel scenario runs on both
-//     event-queue backends (src/sim/event_queue.hpp), selectable with
-//     --backend=heap|ladder|both.
+//   * heap vs. ladder vs. wheel backend — every kernel scenario runs on
+//     all three event-queue backends (src/sim/event_queue.hpp),
+//     selectable with --backend=heap|ladder|wheel|both|all (both = the
+//     legacy heap+ladder pair; the default is all).
 //
 // Scenarios (kernel-level):
 //   * timer_churn      — callback events rescheduling themselves,
@@ -39,12 +40,19 @@
 //     (one arrival process per flow, >24k concurrently pending flow
 //     timers: the population a per-flow-timed fig13 setup implies and the
 //     regime the ladder queue exists for), run on every enabled backend.
-//     Both backends must produce identical packet counters; the JSON
-//     tracks each backend's simulated-packets-per-second and the ladder's
-//     full-stack speedup.
+//     All backends must produce identical telemetry; the JSON tracks each
+//     backend's simulated-packets-per-second and the per-backend
+//     full-stack speedups.
+//   * fig13_fullstack_1m — the registered million-flow scenario (2^20
+//     per-flow sources, >1M concurrently pending timers: the regime the
+//     hierarchical timing wheel exists for), repeated over several trials
+//     per backend; the JSON records median/IQR wall time and packet rate
+//     plus the wheel's speedup over heap and ladder.
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cmath>
+#include <utility>
 #include <coroutine>
 #include <cstdint>
 #include <fstream>
@@ -212,6 +220,7 @@ using metro::sim::BasicSignal;
 using metro::sim::BasicSimulation;
 using metro::sim::BinaryHeapBackend;
 using metro::sim::LadderQueueBackend;
+using metro::sim::TimingWheelBackend;
 using metro::sim::Task;
 using metro::sim::Time;
 
@@ -340,7 +349,8 @@ struct ScenarioResult {
   Run base;    // legacy kernel (baseline)
   Run heap;    // BinaryHeapBackend
   Run ladder;  // LadderQueueBackend
-  const Run& best_new() const { return heap.ran ? heap : ladder; }
+  Run wheel;   // TimingWheelBackend
+  const Run& best_new() const { return heap.ran ? heap : (ladder.ran ? ladder : wheel); }
   double speedup(const Run& next) const {
     return next.wall > 0 ? base.wall / next.wall : 0.0;
   }
@@ -406,16 +416,18 @@ int main(int argc, char** argv) {
   // Wall time *is* this bench's headline metric, so sweeps default to one
   // job — concurrent shards would contend for cache/memory bandwidth and
   // distort per-shard wall numbers. --jobs=N is available for quick looks.
-  const auto args = metro::bench::parse_args(argc, argv, metro::bench::BackendChoice::kBoth, 1);
+  const auto args = metro::bench::parse_args(argc, argv, metro::bench::BackendChoice::kAll, 1);
   const bool fast = args.fast;
   const bool heap_on = metro::bench::use_heap(args.backend);
   const bool ladder_on = metro::bench::use_ladder(args.backend);
+  const bool wheel_on = metro::bench::use_wheel(args.backend);
   const std::uint64_t scale = fast ? 1 : 4;
 
   metro::bench::header(
-      "Kernel throughput — events/sec: legacy baseline vs heap vs ladder backend",
+      "Kernel throughput — events/sec: legacy baseline vs heap vs ladder vs wheel",
       "allocation-free POD-event kernel should clear 2x the legacy kernel; the "
-      "ladder backend should reach parity or better at >10k pending events");
+      "ladder backend should reach parity or better at >10k pending events; the "
+      "wheel should dominate both at the 2^20-flow population");
 
   ScenarioResult timer, sleep, signal, fig13k;
 
@@ -488,6 +500,13 @@ int main(int argc, char** argv) {
     signal.ladder = r[2];
     fig13k.ladder = r[3];
   }
+  if (wheel_on) {
+    const auto r = run_backend(TimingWheelBackend{});
+    timer.wheel = r[0];
+    sleep.wheel = r[1];
+    signal.wheel = r[2];
+    fig13k.wheel = r[3];
+  }
 
   // Overall: geometric mean across the three classic scenarios (kept
   // comparable with the PR-1 trajectory; fig13_multiqueue_kernel is
@@ -501,6 +520,10 @@ int main(int argc, char** argv) {
   const double overall_ladder =
       ladder_on
           ? geomean3(timer.eps(timer.ladder), sleep.eps(sleep.ladder), signal.eps(signal.ladder))
+          : 0.0;
+  const double overall_wheel =
+      wheel_on
+          ? geomean3(timer.eps(timer.wheel), sleep.eps(sleep.wheel), signal.eps(signal.wheel))
           : 0.0;
 
   // Fig. 13-style multiqueue Metronome scenario on the full app stack,
@@ -540,21 +563,40 @@ int main(int argc, char** argv) {
     fs_shards.push_back(metro::scenario::Shard{fs_scenario->name, backend, fs_cfg});
   }
   const auto fs_results = metro::scenario::SweepRunner(args.jobs).run(fs_shards);
-  FullstackRun fs_heap, fs_ladder;
+  FullstackRun fs_heap, fs_ladder, fs_wheel;
   for (std::size_t i = 0; i < fs_shards.size(); ++i) {
-    (fs_shards[i].backend == metro::scenario::BackendKind::kHeap ? fs_heap : fs_ladder) =
-        from_shard(fs_results[i]);
+    switch (fs_shards[i].backend) {
+      case metro::scenario::BackendKind::kHeap: fs_heap = from_shard(fs_results[i]); break;
+      case metro::scenario::BackendKind::kLadder: fs_ladder = from_shard(fs_results[i]); break;
+      case metro::scenario::BackendKind::kWheel: fs_wheel = from_shard(fs_results[i]); break;
+    }
   }
+  // Pairwise identity across every backend that ran, anchored on the
+  // first one (divergence between any two implies divergence vs. the
+  // anchor).
   bool fullstack_diverged = false;
-  if (fs_heap.ran && fs_ladder.ran && fs_heap.fingerprint != fs_ladder.fingerprint) {
-    fullstack_diverged = true;
-    const auto& h = fs_heap.counters;
-    const auto& l = fs_ladder.counters;
-    std::cerr << "BACKEND DIVERGENCE in fig13_fullstack (telemetry fingerprint "
-              << fs_heap.fingerprint << " vs " << fs_ladder.fingerprint
-              << "): heap rx/drop/tx/processed " << h.rx << "/" << h.dropped << "/" << h.tx
-              << "/" << h.processed << " vs ladder " << l.rx << "/" << l.dropped << "/" << l.tx
-              << "/" << l.processed << "\n";
+  {
+    const FullstackRun* anchor = nullptr;
+    const char* anchor_name = nullptr;
+    const std::array<std::pair<const FullstackRun*, const char*>, 3> runs{
+        {{&fs_heap, "heap"}, {&fs_ladder, "ladder"}, {&fs_wheel, "wheel"}}};
+    for (const auto& [run, name] : runs) {
+      if (!run->ran) continue;
+      if (anchor == nullptr) {
+        anchor = run;
+        anchor_name = name;
+        continue;
+      }
+      if (run->fingerprint == anchor->fingerprint) continue;
+      fullstack_diverged = true;
+      const auto& a = anchor->counters;
+      const auto& b = run->counters;
+      std::cerr << "BACKEND DIVERGENCE in fig13_fullstack (telemetry fingerprint "
+                << anchor->fingerprint << " vs " << run->fingerprint << "): " << anchor_name
+                << " rx/drop/tx/processed " << a.rx << "/" << a.dropped << "/" << a.tx << "/"
+                << a.processed << " vs " << name << " " << b.rx << "/" << b.dropped << "/"
+                << b.tx << "/" << b.processed << "\n";
+    }
   }
 
   // Ladder rung/spill geometry sweep (the ROADMAP open item): the
@@ -589,6 +631,67 @@ int main(int argc, char** argv) {
     }
   }
 
+  // fig13_fullstack_1m: 2^20 per-flow sources, >1M concurrently pending
+  // timers — the wheel's home regime. Wall time is noisy at these run
+  // lengths, so every enabled backend is repeated m1_trials times
+  // (serially: wall is the metric) and the JSON records median/IQR. The
+  // execution itself is deterministic: every trial of every backend must
+  // produce one and the same telemetry fingerprint.
+  const auto* m1_scenario = metro::scenario::find_scenario("fig13_fullstack_1m");
+  if (m1_scenario == nullptr) {
+    std::cerr << "fig13_fullstack_1m missing from the scenario registry\n";
+    return 2;
+  }
+  auto m1_cfg = m1_scenario->config;
+  if (fast) m1_cfg.measure = 10 * metro::sim::kMillisecond;
+  const int m1_trials = fast ? 2 : 3;
+  struct M1Samples {
+    std::vector<double> wall;
+    std::vector<double> pps;
+    FullstackRun last;  // deterministic fields (pending, counters, fingerprint)
+    bool ran = false;
+  };
+  std::array<M1Samples, 3> m1;  // indexed by BackendKind: heap, ladder, wheel
+  bool m1_diverged = false;
+  bool m1_have_fp = false;
+  std::uint64_t m1_fp = 0;
+  for (int trial = 0; trial < m1_trials; ++trial) {
+    std::vector<metro::scenario::Shard> m1_shards;
+    for (const auto backend : metro::bench::backend_kinds(args.backend)) {
+      m1_shards.push_back(metro::scenario::Shard{m1_scenario->name, backend, m1_cfg});
+    }
+    const auto out = metro::scenario::SweepRunner(1).run(m1_shards);
+    for (std::size_t i = 0; i < m1_shards.size(); ++i) {
+      const auto r = from_shard(out[i]);
+      auto& slot = m1[static_cast<std::size_t>(m1_shards[i].backend)];
+      slot.wall.push_back(r.wall);
+      slot.pps.push_back(r.pps);
+      slot.last = r;
+      slot.ran = true;
+      if (!m1_have_fp) {
+        m1_have_fp = true;
+        m1_fp = r.fingerprint;
+      } else if (r.fingerprint != m1_fp) {
+        m1_diverged = true;
+        std::cerr << "DIVERGENCE in fig13_fullstack_1m: "
+                  << metro::scenario::backend_name(m1_shards[i].backend) << " trial " << trial
+                  << " fingerprint " << r.fingerprint << " != " << m1_fp << "\n";
+      }
+    }
+  }
+  const auto quantile = [](std::vector<double> v, double q) {
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+  };
+  const auto median = [&](const std::vector<double>& v) { return quantile(v, 0.5); };
+  const auto iqr = [&](const std::vector<double>& v) {
+    return quantile(v, 0.75) - quantile(v, 0.25);
+  };
+
   const auto row = [&](const char* name, const ScenarioResult& r) {
     std::cout << "  " << name << ": legacy " << metro::bench::num(r.baseline_eps() / 1e6)
               << " M useful events/s (raw " << metro::bench::num(r.baseline_raw_eps() / 1e6)
@@ -600,6 +703,10 @@ int main(int argc, char** argv) {
     if (r.ladder.ran) {
       std::cout << " | ladder " << metro::bench::num(r.eps(r.ladder) / 1e6) << " M/s (x"
                 << metro::bench::num(r.speedup(r.ladder)) << ")";
+    }
+    if (r.wheel.ran) {
+      std::cout << " | wheel " << metro::bench::num(r.eps(r.wheel) / 1e6) << " M/s (x"
+                << metro::bench::num(r.speedup(r.wheel)) << ")";
     }
     std::cout << "\n";
   };
@@ -617,10 +724,19 @@ int main(int argc, char** argv) {
     std::cout << " | ladder " << metro::bench::num(overall_ladder / 1e6) << " M/s (x"
               << metro::bench::num(overall_ladder / overall_base) << ")";
   }
+  if (wheel_on) {
+    std::cout << " | wheel " << metro::bench::num(overall_wheel / 1e6) << " M/s (x"
+              << metro::bench::num(overall_wheel / overall_base) << ")";
+  }
   std::cout << "\n";
   if (heap_on && ladder_on) {
     std::cout << "  fig13 kernel scenario, ladder vs heap: x"
               << metro::bench::num(fig13k.heap.wall / fig13k.ladder.wall) << " wall ("
+              << kFig13Flows << "+ pending events)\n";
+  }
+  if (heap_on && wheel_on) {
+    std::cout << "  fig13 kernel scenario, wheel vs heap: x"
+              << metro::bench::num(fig13k.heap.wall / fig13k.wheel.wall) << " wall ("
               << kFig13Flows << "+ pending events)\n";
   }
   std::cout << "\n  fig13 multiqueue (full stack, grouped feeder, heap): "
@@ -638,10 +754,17 @@ int main(int argc, char** argv) {
   };
   fs_row("heap", fs_heap);
   fs_row("ladder", fs_ladder);
+  fs_row("wheel", fs_wheel);
   if (fs_heap.ran && fs_ladder.ran) {
     std::cout << "  fig13 fullstack, ladder vs heap: x"
-              << metro::bench::num(fs_heap.wall / fs_ladder.wall) << " wall"
-              << (fullstack_diverged ? "  [TELEMETRY DIVERGED]" : "  (identical telemetry)")
+              << metro::bench::num(fs_heap.wall / fs_ladder.wall) << " wall";
+  }
+  if (fs_heap.ran && fs_wheel.ran) {
+    std::cout << " | wheel vs heap: x" << metro::bench::num(fs_heap.wall / fs_wheel.wall)
+              << " wall";
+  }
+  if ((fs_heap.ran && fs_ladder.ran) || (fs_heap.ran && fs_wheel.ran)) {
+    std::cout << (fullstack_diverged ? "  [TELEMETRY DIVERGED]" : "  (identical telemetry)")
               << "\n";
   }
   if (!geo_runs.empty()) {
@@ -661,6 +784,27 @@ int main(int argc, char** argv) {
               << (geometry_diverged ? "  [TELEMETRY DIVERGED]" : "") << "\n";
   }
 
+  const auto m1_row = [&](const char* name, const M1Samples& b) {
+    if (!b.ran) return;
+    std::cout << "    " << name << ": wall median " << metro::bench::num(median(b.wall))
+              << " s (IQR " << metro::bench::num(iqr(b.wall)) << "), "
+              << metro::bench::num(median(b.pps) / 1e6) << " M simulated packets/s, "
+              << b.last.pending << " pending events\n";
+  };
+  std::cout << "\n  fig13 fullstack 1M (" << (m1_cfg.workload.n_flows) << " per-flow sources, "
+            << m1_trials << " trials per backend):\n";
+  m1_row("heap  ", m1[0]);
+  m1_row("ladder", m1[1]);
+  m1_row("wheel ", m1[2]);
+  if (m1[2].ran && m1[0].ran) {
+    std::cout << "    wheel vs heap: x" << metro::bench::num(median(m1[0].wall) / median(m1[2].wall));
+    if (m1[1].ran) {
+      std::cout << ", wheel vs ladder: x"
+                << metro::bench::num(median(m1[1].wall) / median(m1[2].wall));
+    }
+    std::cout << (m1_diverged ? "  [TELEMETRY DIVERGED]" : "  (identical telemetry)") << "\n";
+  }
+
   // Machine-readable artifact, emitted through the one JSON path
   // (stats::JsonWriter). Field names unchanged from the hand-rolled
   // schema except counters_identical -> telemetry_identical (the check is
@@ -673,6 +817,7 @@ int main(int argc, char** argv) {
   w.key("backends").begin_array();
   if (heap_on) w.value("heap");
   if (ladder_on) w.value("ladder");
+  if (wheel_on) w.value("wheel");
   w.end_array();
   w.key("scenarios").begin_object();
   const auto emit_backend_run = [&w](const char* key, const ScenarioResult& r, const Run& run) {
@@ -689,6 +834,7 @@ int main(int argc, char** argv) {
     w.kv("baseline_wall_seconds", r.base.wall);
     if (r.heap.ran) emit_backend_run("heap", r, r.heap);
     if (r.ladder.ran) emit_backend_run("ladder", r, r.ladder);
+    if (r.wheel.ran) emit_backend_run("wheel", r, r.wheel);
     w.end_object();
   };
   emit("timer_churn", timer);
@@ -706,9 +852,16 @@ int main(int argc, char** argv) {
     w.kv("ladder_events_per_sec", overall_ladder);
     w.kv("ladder_speedup", overall_ladder / overall_base);
   }
+  if (wheel_on) {
+    w.kv("wheel_events_per_sec", overall_wheel);
+    w.kv("wheel_speedup", overall_wheel / overall_base);
+  }
   w.end_object();
   if (heap_on && ladder_on) {
     w.kv("fig13_kernel_ladder_vs_heap_speedup", fig13k.heap.wall / fig13k.ladder.wall);
+  }
+  if (heap_on && wheel_on) {
+    w.kv("fig13_kernel_wheel_vs_heap_speedup", fig13k.heap.wall / fig13k.wheel.wall);
   }
   w.key("fig13_fullstack").begin_object();
   w.kv("n_flows", static_cast<std::uint64_t>(kFullstackFlows));
@@ -725,8 +878,14 @@ int main(int argc, char** argv) {
   };
   emit_fs("heap", fs_heap);
   emit_fs("ladder", fs_ladder);
+  emit_fs("wheel", fs_wheel);
   if (fs_heap.ran && fs_ladder.ran) {
     w.kv("ladder_vs_heap_speedup", fs_heap.wall / fs_ladder.wall);
+  }
+  if (fs_heap.ran && fs_wheel.ran) {
+    w.kv("wheel_vs_heap_speedup", fs_heap.wall / fs_wheel.wall);
+  }
+  if ((fs_heap.ran && fs_ladder.ran) || (fs_heap.ran && fs_wheel.ran)) {
     w.kv("telemetry_identical", !fullstack_diverged);
   }
   w.end_object();
@@ -756,6 +915,31 @@ int main(int argc, char** argv) {
     w.kv("telemetry_identical", !geometry_diverged);
     w.end_object();
   }
+  w.key("fig13_fullstack_1m").begin_object();
+  w.kv("n_flows", static_cast<std::uint64_t>(m1_cfg.workload.n_flows));
+  w.kv("per_flow_sources", true);
+  w.kv("trials", static_cast<std::uint64_t>(m1_trials));
+  const auto emit_m1 = [&](const char* key, const M1Samples& b) {
+    if (!b.ran) return;
+    w.key(key).begin_object();
+    w.kv("wall_seconds_median", median(b.wall));
+    w.kv("wall_seconds_iqr", iqr(b.wall));
+    w.kv("simulated_packets_per_sec_median", median(b.pps));
+    w.kv("simulated_packets_per_sec_iqr", iqr(b.pps));
+    w.kv("pending_events", static_cast<std::uint64_t>(b.last.pending));
+    w.end_object();
+  };
+  emit_m1("heap", m1[0]);
+  emit_m1("ladder", m1[1]);
+  emit_m1("wheel", m1[2]);
+  if (m1[2].ran && m1[0].ran) {
+    w.kv("wheel_vs_heap_speedup", median(m1[0].wall) / median(m1[2].wall));
+  }
+  if (m1[2].ran && m1[1].ran) {
+    w.kv("wheel_vs_ladder_speedup", median(m1[1].wall) / median(m1[2].wall));
+  }
+  w.kv("telemetry_identical", !m1_diverged);
+  w.end_object();
   w.key("fig13_multiqueue").begin_object();
   w.kv("backend", "heap");
   w.kv("simulated_packets_per_sec", fig13_pps);
@@ -765,9 +949,11 @@ int main(int argc, char** argv) {
   w.end_object();
   w.end_object();
   w.finish();
-  if (fullstack_diverged || geometry_diverged) {
+  if (fullstack_diverged || geometry_diverged || m1_diverged) {
     std::cout << "\nwrote BENCH_kernel.json ("
-              << (fullstack_diverged ? "BACKEND" : "GEOMETRY") << " DIVERGENCE — failing)\n";
+              << (fullstack_diverged   ? "BACKEND"
+                  : geometry_diverged ? "GEOMETRY"
+                                      : "1M-FLOW") << " DIVERGENCE — failing)\n";
     return 1;
   }
   std::cout << "\nwrote BENCH_kernel.json\n";

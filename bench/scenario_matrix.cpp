@@ -43,7 +43,7 @@ using namespace metro;
 using scenario::BackendKind;
 
 int main(int argc, char** argv) {
-  const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kBoth,
+  const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kAll,
                                       bench::default_jobs());
   if (args.list) {
     // Greppable registry listing for scripts/CI: names only, one per line.

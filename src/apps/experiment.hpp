@@ -124,6 +124,9 @@ struct ExperimentConfig {
   /// heap. Geometry only changes simulation speed, never the execution —
   /// runs stay bit-identical across geometries (and backends).
   sim::LadderConfig ladder{};
+  /// Likewise for the timing-wheel kernel
+  /// (BasicTestbed<sim::WheelSimulation>); ignored by the other two.
+  sim::WheelConfig wheel{};
 
   WorkloadConfig workload{};
   CompetitorConfig competitor{};
@@ -234,6 +237,7 @@ class BasicTestbed {
   std::unique_ptr<nic::BasicPort<Sim>> port_;
   std::unique_ptr<tgen::FlowSet> flows_;
   std::unique_ptr<tgen::Generator> generator_;
+  std::unique_ptr<tgen::PerFlowSourceArena<Sim>> flow_arena_;  // kPerFlow only
   std::unique_ptr<core::BasicMetronome<Sim>> metronome_;
   std::vector<std::unique_ptr<dpdk::DriverStats>> polling_stats_;
   std::vector<std::unique_ptr<dpdk::XdpStats>> xdp_stats_;

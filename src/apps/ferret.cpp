@@ -40,5 +40,8 @@ template std::shared_ptr<FerretResult> spawn_ferret<sim::Simulation>(
 template std::shared_ptr<FerretResult> spawn_ferret<sim::LadderSimulation>(
     sim::LadderSimulation&, sim::BasicCore<sim::LadderSimulation>&, const FerretConfig&,
     const std::string&);
+template std::shared_ptr<FerretResult> spawn_ferret<sim::WheelSimulation>(
+    sim::WheelSimulation&, sim::BasicCore<sim::WheelSimulation>&, const FerretConfig&,
+    const std::string&);
 
 }  // namespace metro::apps

@@ -108,5 +108,10 @@ spawn_freq_scaling_lcore<sim::LadderSimulation>(sim::LadderSimulation&,
                                                 nic::BasicPort<sim::LadderSimulation>&, int,
                                                 sim::BasicCore<sim::LadderSimulation>&,
                                                 const FreqScalingConfig&, FreqScalingStats&);
+template sim::BasicCore<sim::WheelSimulation>::EntityId
+spawn_freq_scaling_lcore<sim::WheelSimulation>(sim::WheelSimulation&,
+                                               nic::BasicPort<sim::WheelSimulation>&, int,
+                                               sim::BasicCore<sim::WheelSimulation>&,
+                                               const FreqScalingConfig&, FreqScalingStats&);
 
 }  // namespace metro::dpdk

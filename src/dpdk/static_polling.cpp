@@ -73,5 +73,10 @@ spawn_static_lcore<sim::LadderSimulation>(sim::LadderSimulation&,
                                           nic::BasicPort<sim::LadderSimulation>&, int,
                                           sim::BasicCore<sim::LadderSimulation>&,
                                           const StaticPollingConfig&, DriverStats&);
+template sim::BasicCore<sim::WheelSimulation>::EntityId
+spawn_static_lcore<sim::WheelSimulation>(sim::WheelSimulation&,
+                                         nic::BasicPort<sim::WheelSimulation>&, int,
+                                         sim::BasicCore<sim::WheelSimulation>&,
+                                         const StaticPollingConfig&, DriverStats&);
 
 }  // namespace metro::dpdk

@@ -59,5 +59,8 @@ template sim::BasicCore<sim::Simulation>::EntityId spawn_xdp_queue<sim::Simulati
 template sim::BasicCore<sim::LadderSimulation>::EntityId spawn_xdp_queue<sim::LadderSimulation>(
     sim::LadderSimulation&, nic::BasicPort<sim::LadderSimulation>&, int,
     sim::BasicCore<sim::LadderSimulation>&, const XdpConfig&, XdpStats&);
+template sim::BasicCore<sim::WheelSimulation>::EntityId spawn_xdp_queue<sim::WheelSimulation>(
+    sim::WheelSimulation&, nic::BasicPort<sim::WheelSimulation>&, int,
+    sim::BasicCore<sim::WheelSimulation>&, const XdpConfig&, XdpStats&);
 
 }  // namespace metro::dpdk

@@ -113,6 +113,23 @@ std::vector<ScenarioSpec> build_registry() {
     s.config.measure = 400 * sim::kMillisecond;
     reg.push_back(std::move(s));
   }
+  {
+    // The million-flow regime the timing-wheel backend exists for: 2^20
+    // per-flow Poisson sources, each keeping one timer armed at all times
+    // (>1M concurrently pending events; the arena source path makes the
+    // population affordable to construct). Windows are short because one
+    // simulated millisecond covers 37k packets against a 28 ms mean
+    // per-flow gap — the point is the pending population, not run length.
+    ScenarioSpec s{"fig13_fullstack_1m",
+                   "fig13 multiqueue testbed on 2^20 per-flow sources (wheel regime)",
+                   fig13_testbed()};
+    s.config.workload.model = ArrivalModel::kPerFlow;
+    s.config.workload.poisson = true;
+    s.config.workload.n_flows = 1u << 20;
+    s.config.warmup = 5 * sim::kMillisecond;
+    s.config.measure = 25 * sim::kMillisecond;
+    reg.push_back(std::move(s));
+  }
 
   // --- fault-plane scenarios (src/fault/) -------------------------------
   // Adverse-condition coverage: the same testbeds as the healthy

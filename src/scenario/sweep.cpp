@@ -14,7 +14,12 @@
 namespace metro::scenario {
 
 const char* backend_name(BackendKind kind) noexcept {
-  return kind == BackendKind::kHeap ? "heap" : "ladder";
+  switch (kind) {
+    case BackendKind::kHeap: return "heap";
+    case BackendKind::kLadder: return "ladder";
+    case BackendKind::kWheel: return "wheel";
+  }
+  return "unknown";
 }
 
 namespace {
@@ -77,10 +82,12 @@ ShardResult run_shard_typed(const Shard& shard, double deadline_s) {
 }
 
 ShardResult run_shard(const Shard& shard, double deadline_s) {
-  if (shard.backend == BackendKind::kHeap) {
-    return run_shard_typed<sim::Simulation>(shard, deadline_s);
+  switch (shard.backend) {
+    case BackendKind::kLadder: return run_shard_typed<sim::LadderSimulation>(shard, deadline_s);
+    case BackendKind::kWheel: return run_shard_typed<sim::WheelSimulation>(shard, deadline_s);
+    case BackendKind::kHeap: break;
   }
-  return run_shard_typed<sim::LadderSimulation>(shard, deadline_s);
+  return run_shard_typed<sim::Simulation>(shard, deadline_s);
 }
 
 }  // namespace
@@ -113,8 +120,8 @@ std::vector<Shard> SweepRunner::expand(const SweepMatrix& matrix) {
       ++point_index;
       for (const BackendKind backend : matrix.backends) {
         // The geometry axis only means something to the ladder backend;
-        // expanding it for heap shards would just repeat bit-identical
-        // runs, so heap gets exactly one shard per point.
+        // expanding it for heap or wheel shards would just repeat
+        // bit-identical runs, so those get exactly one shard per point.
         const std::size_t backend_geoms = backend == BackendKind::kLadder ? n_geoms : 1;
         for (std::size_t g = 0; g < backend_geoms; ++g) {
           if (backend == BackendKind::kLadder && !matrix.ladder_geometries.empty()) {

@@ -30,7 +30,7 @@
 namespace metro::scenario {
 
 /// Which event-queue backend a shard runs on.
-enum class BackendKind { kHeap, kLadder };
+enum class BackendKind { kHeap, kLadder, kWheel };
 
 /// Stable display/JSON name of a backend.
 const char* backend_name(BackendKind kind) noexcept;
@@ -110,8 +110,9 @@ class SweepRunner {
   explicit SweepRunner(int jobs = 1) : jobs_(jobs < 1 ? 1 : jobs) {}
 
   /// Expand a matrix into shards, ordered scenario-major, then rate, with
-  /// the shards of one point adjacent: one heap shard (geometry means
-  /// nothing to it), then one ladder shard per geometry.
+  /// the shards of one point adjacent in matrix.backends order: one shard
+  /// per backend, except the ladder which gets one per geometry (the
+  /// geometry axis means nothing to heap or wheel shards).
   /// Throws std::invalid_argument on an unknown scenario name.
   static std::vector<Shard> expand(const SweepMatrix& matrix);
 

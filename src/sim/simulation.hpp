@@ -402,6 +402,9 @@ using Simulation = BasicSimulation<BinaryHeapBackend>;
 /// The large-pending-population kernel variant. The whole app stack also
 /// instantiates over this (BasicTestbed<LadderSimulation> etc.).
 using LadderSimulation = BasicSimulation<LadderQueueBackend>;
+/// The million-timer kernel variant: hierarchical timing-wheel event
+/// store. Instantiated across the app stack like the other two.
+using WheelSimulation = BasicSimulation<TimingWheelBackend>;
 
 /// A one-to-many wake-up signal. Processes co_await the signal (optionally
 /// with a timeout); notify_all() resumes every waiter at the current

@@ -9,18 +9,28 @@
 // at which the ring "sees" the packets is coarsened by < window.
 //
 // For scenarios where the *pending-event population* is the point (the
-// fig13 full-stack regime: tens of thousands of concurrently armed flow
-// timers), attach_per_flow_sources() spawns one arrival process per flow
-// instead: every flow keeps one timer armed at all times, so N flows put N
-// events in the kernel's pending store — the workload the ladder queue
-// backend exists for. One event per packet; use the grouped feeder when
-// simulation speed matters more than population realism.
+// fig13 full-stack regime: thousands to millions of concurrently armed
+// flow timers), the per-flow entry points keep one timer armed per flow,
+// so N flows put N events in the kernel's pending store — the workload
+// the ladder-queue and timing-wheel backends exist for. One event per
+// packet; use the grouped feeder when simulation speed matters more than
+// population realism. Two implementations share the exact event stream:
 //
-// Both entry points are generic over the kernel instantiation; defined in
-// feeder.cpp and instantiated for both shipped backends.
+//   * attach_per_flow_sources() — one coroutine per flow. The readable
+//     reference; a heap-allocated frame per flow makes it unaffordable at
+//     the million-flow mark.
+//   * PerFlowSourceArena — the same processes as packed records plus one
+//     pooled callback timer per flow. ~4 bytes of arena state per flow,
+//     steady-state allocation-free, and construction is one pass instead
+//     of a million coroutine frames. Emits the byte-identical event
+//     stream (enforced by tests/test_tgen.cpp).
+//
+// All entry points are generic over the kernel instantiation; defined in
+// feeder.cpp and instantiated for the three shipped backends.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "nic/port.hpp"
 #include "sim/simulation.hpp"
@@ -55,5 +65,56 @@ struct PerFlowSourceConfig {
 template <typename Sim>
 void attach_per_flow_sources(Sim& sim, nic::BasicPort<Sim>& port, const FlowSet& flows,
                              PerFlowSourceConfig cfg);
+
+/// Arena-backed per-flow arrival processes: the million-flow form of
+/// attach_per_flow_sources. Per flow it keeps a 4-byte packed record (the
+/// precomputed RSS hash, contiguous so the fire path touches one dense
+/// cache line per 16 flows instead of a FlowSet stride) and one pending
+/// kernel timer whose 16-byte callback fits the kernel's inline budget —
+/// no coroutine frame, no per-arrival allocation. Constructing the arena
+/// schedules a single bootstrap callback that phases every flow in flow
+/// order, so building a 1M-flow population is one vector fill, not 1M
+/// spawns.
+///
+/// Equivalence contract: the arena consumes the simulation RNG in the
+/// same order as the coroutine path (phase draws in flow order at t=now,
+/// then one gap draw per arrival in event order) and arms its timers in
+/// the same relative sequence order, so the emitted packet stream — every
+/// field, every delivery instant, and hence every downstream observable —
+/// is bit-identical to attach_per_flow_sources for every backend
+/// (tests/test_tgen.cpp pins this). Only the kernel's internal event
+/// count differs: one bootstrap event replaces the n spawn resumes.
+///
+/// The arena must outlive the simulation run; it is pinned (callbacks
+/// capture `this`).
+template <typename Sim>
+class PerFlowSourceArena {
+ public:
+  PerFlowSourceArena(Sim& sim, nic::BasicPort<Sim>& port, const FlowSet& flows,
+                     PerFlowSourceConfig cfg);
+  PerFlowSourceArena(const PerFlowSourceArena&) = delete;
+  PerFlowSourceArena& operator=(const PerFlowSourceArena&) = delete;
+
+  std::size_t flow_count() const noexcept { return rss_.size(); }
+  /// Timers currently pending in the kernel (0 once every flow passed
+  /// `start + duration`).
+  std::size_t armed() const noexcept { return armed_; }
+  /// Packets emitted so far.
+  std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  void bootstrap();
+  void fire(std::uint32_t flow);
+  void arm(std::uint32_t flow, sim::Time at);
+
+  Sim& sim_;
+  nic::BasicPort<Sim>& port_;
+  std::vector<std::uint32_t> rss_;  ///< packed per-flow records
+  PerFlowSourceConfig cfg_;
+  double mean_gap_ns_ = 0.0;
+  sim::Time end_ = 0;
+  std::size_t armed_ = 0;
+  std::uint64_t fired_ = 0;
+};
 
 }  // namespace metro::tgen

@@ -25,6 +25,17 @@ FlowSet::FlowSet(std::size_t n_flows, std::uint64_t seed) {
   }
 }
 
+std::size_t Generator::next_batch(std::vector<nic::PacketDesc>& out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max) {
+    auto pkt = next();
+    if (!pkt.has_value()) break;
+    out.push_back(*pkt);
+    ++n;
+  }
+  return n;
+}
+
 double RampProfile::rate_at(Time t) const {
   if (t < 0 || t > total_) return 0.0;
   const Time half = total_ / 2;
@@ -62,6 +73,31 @@ std::optional<nic::PacketDesc> StreamGenerator::next() {
     t_ += gap_;
   }
   return pkt;
+}
+
+std::size_t StreamGenerator::next_batch(std::vector<nic::PacketDesc>& out, std::size_t max) {
+  if (cfg_.rate_pps <= 0.0) return 0;
+  const Time end = cfg_.start + cfg_.duration;
+  // Hoist the loop-invariant state; write t_ back once. The draw sequence
+  // per packet (pick, optional imix size, optional exponential gap) is
+  // byte-identical to next()'s.
+  Time t = t_;
+  std::size_t n = 0;
+  for (; n < max && t < end; ++n) {
+    nic::PacketDesc pkt;
+    pkt.arrival = t;
+    pkt.flow_id = picker_->pick(rng_);
+    pkt.rss_hash = flows_.rss_hash(pkt.flow_id);
+    pkt.wire_size = cfg_.imix ? ImixSizes{}.next(rng_) : cfg_.wire_size;
+    if (cfg_.poisson) {
+      t += static_cast<Time>(rng_.exponential(static_cast<double>(gap_)));
+    } else {
+      t += gap_;
+    }
+    out.push_back(pkt);
+  }
+  t_ = t;
+  return n;
 }
 
 ProfileGenerator::ProfileGenerator(const RateProfile& profile, Time duration,

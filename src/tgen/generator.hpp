@@ -53,6 +53,13 @@ class Generator {
   /// Next packet, or nullopt when the workload is exhausted. Arrival times
   /// are non-decreasing.
   virtual std::optional<nic::PacketDesc> next() = 0;
+  /// Append up to `max` packets to `out`; returns the number appended
+  /// (0 = exhausted). Draws the exact stream next() would — the batched
+  /// path is an amortisation, never a different workload (enforced by
+  /// tests/test_tgen.cpp for every generator). The default loops next();
+  /// hot generators override it to hoist the per-call virtual dispatch
+  /// and state reloads out of the loop.
+  virtual std::size_t next_batch(std::vector<nic::PacketDesc>& out, std::size_t max);
 };
 
 /// Picks flow ids for successive packets.
@@ -133,6 +140,9 @@ class StreamGenerator final : public Generator {
   StreamGenerator(StreamConfig cfg, const FlowSet& flows, std::unique_ptr<FlowPicker> picker);
 
   std::optional<nic::PacketDesc> next() override;
+  /// Bulk variant with the per-packet draw sequence of next(), minus the
+  /// per-packet virtual call — the feeder's steady-state path.
+  std::size_t next_batch(std::vector<nic::PacketDesc>& out, std::size_t max) override;
 
  private:
   StreamConfig cfg_;

@@ -130,7 +130,7 @@ class AllocFreeBackendTest : public ::testing::Test {
   using Sig = BasicSignal<Sim>;
 };
 
-using Backends = ::testing::Types<BinaryHeapBackend, LadderQueueBackend>;
+using Backends = ::testing::Types<BinaryHeapBackend, LadderQueueBackend, TimingWheelBackend>;
 TYPED_TEST_SUITE(AllocFreeBackendTest, Backends);
 
 TYPED_TEST(AllocFreeBackendTest, SteadyStateKernelDoesNotAllocate) {

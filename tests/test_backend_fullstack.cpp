@@ -4,11 +4,11 @@
 // backends (test_determinism.cpp). Since PR 3 the full app stack — Core,
 // SleepService, rings, Port, drivers, Metronome, feeder, Testbed — is
 // generic over the backend, so the same guarantee must hold one level up:
-// an identical ExperimentConfig run on BasicTestbed<Simulation> and
-// BasicTestbed<LadderSimulation> must produce identical packet counters,
-// identical driver statistics and an identical latency histogram, bin for
-// bin. This is what lets the figure benches treat --backend as a pure
-// speed knob.
+// an identical ExperimentConfig run on BasicTestbed<Simulation>,
+// BasicTestbed<LadderSimulation> and BasicTestbed<WheelSimulation> must
+// produce identical packet counters, identical driver statistics and an
+// identical latency histogram, bin for bin. This is what lets the figure
+// benches treat --backend as a pure speed knob.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -100,9 +100,11 @@ TEST(BackendFullstackTest, MetronomeCountersIdenticalAcrossBackends) {
   const auto cfg = small_metronome_config();
   const auto heap = run_fullstack<sim::Simulation>(cfg);
   const auto ladder = run_fullstack<sim::LadderSimulation>(cfg);
+  const auto wheel = run_fullstack<sim::WheelSimulation>(cfg);
   ASSERT_GT(heap.processed, 100000u) << "scenario must do real work";
   ASSERT_GT(heap.latency_count, 0u) << "latency histogram must record";
   EXPECT_EQ(heap, ladder);
+  EXPECT_EQ(heap, wheel);
 }
 
 TEST(BackendFullstackTest, StaticPollingCountersIdenticalAcrossBackends) {
@@ -111,8 +113,10 @@ TEST(BackendFullstackTest, StaticPollingCountersIdenticalAcrossBackends) {
   cfg.governor = sim::Governor::kOndemand;  // governor-tick timers too
   const auto heap = run_fullstack<sim::Simulation>(cfg);
   const auto ladder = run_fullstack<sim::LadderSimulation>(cfg);
+  const auto wheel = run_fullstack<sim::WheelSimulation>(cfg);
   ASSERT_GT(heap.processed, 100000u);
   EXPECT_EQ(heap, ladder);
+  EXPECT_EQ(heap, wheel);
 }
 
 TEST(BackendFullstackTest, PerFlowSourcesIdenticalAcrossBackends) {
@@ -125,8 +129,10 @@ TEST(BackendFullstackTest, PerFlowSourcesIdenticalAcrossBackends) {
   cfg.measure = 15 * sim::kMillisecond;
   const auto heap = run_fullstack<sim::Simulation>(cfg);
   const auto ladder = run_fullstack<sim::LadderSimulation>(cfg);
+  const auto wheel = run_fullstack<sim::WheelSimulation>(cfg);
   ASSERT_GT(heap.processed, 50000u);
   EXPECT_EQ(heap, ladder);
+  EXPECT_EQ(heap, wheel);
 }
 
 TEST(BackendFullstackTest, LadderRunsFasterRegimeHasLargePopulation) {

@@ -73,10 +73,28 @@ TEST(BenchArgsTest, UnknownFlagRejectedWithTheOffendingSpelling) {
 
 TEST(BenchArgsTest, BackendValueValidated) {
   EXPECT_EQ(parse({"--backend=heap"}).args.backend, BackendChoice::kHeap);
+  EXPECT_EQ(parse({"--backend=ladder"}).args.backend, BackendChoice::kLadder);
+  EXPECT_EQ(parse({"--backend=wheel"}).args.backend, BackendChoice::kWheel);
   EXPECT_EQ(parse({"--backend=both"}).args.backend, BackendChoice::kBoth);
+  EXPECT_EQ(parse({"--backend=all"}).args.backend, BackendChoice::kAll);
   const auto p = parse({"--backend=lader"});
   ASSERT_FALSE(p.ok);
   EXPECT_NE(p.error.find("lader"), std::string::npos);
+  const auto q = parse({"--backend=wheeel"});
+  ASSERT_FALSE(q.ok);
+  EXPECT_NE(q.error.find("wheeel"), std::string::npos);
+  EXPECT_NE(q.error.find("wheel"), std::string::npos) << "error lists the valid spellings";
+}
+
+TEST(BenchArgsTest, BackendSelectionsMapToKinds) {
+  using scenario::BackendKind;
+  EXPECT_EQ(backend_kinds(BackendChoice::kWheel),
+            (std::vector<BackendKind>{BackendKind::kWheel}));
+  EXPECT_EQ(backend_kinds(BackendChoice::kBoth),
+            (std::vector<BackendKind>{BackendKind::kHeap, BackendKind::kLadder}));
+  EXPECT_EQ(backend_kinds(BackendChoice::kAll),
+            (std::vector<BackendKind>{BackendKind::kHeap, BackendKind::kLadder,
+                                      BackendKind::kWheel}));
 }
 
 TEST(BenchArgsTest, JobsMustBeAWholeNumberInRange) {

@@ -160,8 +160,10 @@ std::vector<TraceRecord> kernel_trace() {
 TEST(DeterminismTest, BackendsProduceBitIdenticalTraces) {
   const auto heap = kernel_trace<sim::BinaryHeapBackend>();
   const auto ladder = kernel_trace<sim::LadderQueueBackend>();
+  const auto wheel = kernel_trace<sim::TimingWheelBackend>();
   EXPECT_GT(heap.size(), 4000u) << "trace must cover real work";
   EXPECT_EQ(heap, ladder);
+  EXPECT_EQ(heap, wheel);
 }
 
 TEST(DeterminismTest, DifferentSeedsDiverge) {

@@ -20,7 +20,7 @@ class EventCancelTest : public ::testing::Test {
   using Sim = BasicSimulation<Backend>;
 };
 
-using Backends = ::testing::Types<BinaryHeapBackend, LadderQueueBackend>;
+using Backends = ::testing::Types<BinaryHeapBackend, LadderQueueBackend, TimingWheelBackend>;
 TYPED_TEST_SUITE(EventCancelTest, Backends);
 
 TYPED_TEST(EventCancelTest, CancelledEventNeverFires) {

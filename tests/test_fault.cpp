@@ -395,7 +395,7 @@ Fingerprint fingerprint_of(const scenario::ShardResult& r) {
 scenario::SweepMatrix fault_matrix() {
   scenario::SweepMatrix m;
   m.scenarios.assign(std::begin(kFaultScenarios), std::end(kFaultScenarios));
-  m.backends = {BackendKind::kHeap, BackendKind::kLadder};
+  m.backends = {BackendKind::kHeap, BackendKind::kLadder, BackendKind::kWheel};
   m.warmup = 2 * sim::kMillisecond;
   m.measure = 5 * sim::kMillisecond;
   m.base_seed = 99;
@@ -404,7 +404,7 @@ scenario::SweepMatrix fault_matrix() {
 
 TEST(FaultScenarioTest, BitIdenticalAcrossBackendsAndWorkerCounts) {
   const auto shards = scenario::SweepRunner::expand(fault_matrix());
-  ASSERT_EQ(shards.size(), 8u);  // 4 scenarios x 2 backends
+  ASSERT_EQ(shards.size(), 12u);  // 4 scenarios x 3 backends
   const auto serial = scenario::SweepRunner(1).run(shards);
   const auto parallel = scenario::SweepRunner(4).run(shards);
   ASSERT_EQ(serial.size(), parallel.size());
@@ -413,10 +413,12 @@ TEST(FaultScenarioTest, BitIdenticalAcrossBackendsAndWorkerCounts) {
     EXPECT_EQ(fingerprint_of(serial[i]), fingerprint_of(parallel[i]))
         << "jobs=1 vs jobs=4, shard " << i;
   }
-  // Cross-backend: shards of one scenario are adjacent (heap, ladder).
-  for (std::size_t i = 0; i < serial.size(); i += 2) {
+  // Cross-backend: shards of one scenario are adjacent (heap, ladder, wheel).
+  for (std::size_t i = 0; i < serial.size(); i += 3) {
     EXPECT_EQ(fingerprint_of(serial[i]), fingerprint_of(serial[i + 1]))
         << shards[i].scenario << ": heap vs ladder under faults";
+    EXPECT_EQ(fingerprint_of(serial[i]), fingerprint_of(serial[i + 2]))
+        << shards[i].scenario << ": heap vs wheel under faults";
   }
   EXPECT_EQ(scenario::report_json(shards, serial, false),
             scenario::report_json(shards, parallel, false));

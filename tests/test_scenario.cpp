@@ -241,8 +241,10 @@ class ArrivalModelBackendTest : public ::testing::TestWithParam<ArrivalModel> {}
 TEST_P(ArrivalModelBackendTest, BitIdenticalAcrossBackends) {
   const auto heap = run_model(GetParam(), BackendKind::kHeap);
   const auto ladder = run_model(GetParam(), BackendKind::kLadder);
+  const auto wheel = run_model(GetParam(), BackendKind::kWheel);
   ASSERT_GT(heap.counters.processed, 10000u) << "scenario must do real work";
   EXPECT_EQ(heap, ladder);
+  EXPECT_EQ(heap, wheel);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ArrivalModelBackendTest,
@@ -263,7 +265,7 @@ INSTANTIATE_TEST_SUITE_P(AllModels, ArrivalModelBackendTest,
 scenario::SweepMatrix small_matrix() {
   scenario::SweepMatrix m;
   m.scenarios = {"cbr_uniform", "mmpp_bursty", "incast_sync"};
-  m.backends = {BackendKind::kHeap, BackendKind::kLadder};
+  m.backends = {BackendKind::kHeap, BackendKind::kLadder, BackendKind::kWheel};
   m.warmup = 2 * sim::kMillisecond;
   m.measure = 5 * sim::kMillisecond;
   m.base_seed = 99;
@@ -272,12 +274,15 @@ scenario::SweepMatrix small_matrix() {
 
 TEST(SweepRunnerTest, ExpandDerivesPointSeedsSharedAcrossBackends) {
   const auto shards = scenario::SweepRunner::expand(small_matrix());
-  ASSERT_EQ(shards.size(), 6u);  // 3 scenarios x 2 backends
+  ASSERT_EQ(shards.size(), 9u);  // 3 scenarios x 3 backends
   std::set<std::uint64_t> point_seeds;
-  for (std::size_t i = 0; i < shards.size(); i += 2) {
+  for (std::size_t i = 0; i < shards.size(); i += 3) {
     EXPECT_EQ(shards[i].config.seed, shards[i + 1].config.seed)
         << "backends of one point must share the seed";
+    EXPECT_EQ(shards[i].config.seed, shards[i + 2].config.seed)
+        << "backends of one point must share the seed";
     EXPECT_EQ(shards[i].scenario, shards[i + 1].scenario);
+    EXPECT_EQ(shards[i].scenario, shards[i + 2].scenario);
     point_seeds.insert(shards[i].config.seed);
   }
   EXPECT_EQ(point_seeds.size(), 3u) << "distinct points get distinct seeds";
@@ -316,6 +321,18 @@ TEST(SweepRunnerTest, LadderGeometryIsAPureSpeedKnob) {
   EXPECT_EQ(shards[0].config.seed, shards[1].config.seed)
       << "geometry is part of the point axes: same point seed everywhere";
   const auto results = scenario::SweepRunner(2).run(shards);
+  ASSERT_GT(results[0].counters.processed, 1000u);
+  EXPECT_EQ(fingerprint_of(results[0]), fingerprint_of(results[1]));
+}
+
+TEST(SweepRunnerTest, WheelGeometryIsAPureSpeedKnob) {
+  // Same contract as the ladder: slot/tick/level geometry may change how
+  // fast the wheel simulates, never what it simulates.
+  auto cfg = small_config(ArrivalModel::kPerFlow);
+  const scenario::Shard coarse{"w", BackendKind::kWheel, cfg};
+  cfg.wheel = sim::WheelConfig{4, 6, 8};  // 16-slot levels, 64 ns tick
+  const scenario::Shard fine{"w", BackendKind::kWheel, cfg};
+  const auto results = scenario::SweepRunner(2).run({coarse, fine});
   ASSERT_GT(results[0].counters.processed, 1000u);
   EXPECT_EQ(fingerprint_of(results[0]), fingerprint_of(results[1]));
 }
