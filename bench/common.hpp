@@ -33,6 +33,11 @@
 //   --deadline=SECONDS    per-shard wall-clock deadline; a shard that
 //                         exceeds it fails (and is reported) instead of
 //                         wedging the sweep.
+//   --crypto=calibrated|live
+//                         fig16 ipsec: calibrated charges the fitted
+//                         per-packet cost only; live also executes the
+//                         real ESP gateway per packet (simulated results
+//                         identical, wall time measures the crypto).
 //
 // Parsing is strict: unknown flags and malformed numeric values print the
 // usage text and exit 2. Benches that only take --fast use parse_fast(),
@@ -59,6 +64,14 @@ namespace metro::bench {
 /// pair (scripts predating the wheel keep their meaning); kAll is every
 /// backend the kernel has.
 enum class BackendChoice { kHeap, kLadder, kWheel, kBoth, kAll };
+
+/// How the ipsec bench path treats per-packet crypto. kCalibrated charges
+/// calib::kIpsecPerPacketCost only (the historical behaviour; simulated
+/// results are the reference). kLive additionally executes the real ESP
+/// gateway per drained descriptor via nic::PacketWork — simulated results
+/// stay bit-identical, but wall time now contains the crypto substrate, so
+/// wall-clock simulated-packets/s measures it end to end.
+enum class CryptoMode { kCalibrated, kLive };
 
 inline bool use_heap(BackendChoice c) {
   return c == BackendChoice::kHeap || c == BackendChoice::kBoth || c == BackendChoice::kAll;
@@ -99,6 +112,7 @@ struct Args {
   bool list = false;  ///< print registry names and exit (scenario_matrix)
   std::vector<std::string> only;  ///< scenario filter; empty = all (scenario_matrix)
   double deadline_s = 0.0;        ///< per-shard wall-clock deadline; 0 = off
+  CryptoMode crypto = CryptoMode::kCalibrated;  ///< fig16 ipsec crypto mode
 };
 
 inline const char* usage_text() {
@@ -109,7 +123,10 @@ inline const char* usage_text() {
          "  --trace=<file>       external pcap for kTrace scenarios\n"
          "  --list               print registered scenario names and exit\n"
          "  --only=a,b,c         restrict the sweep to the named scenarios\n"
-         "  --deadline=SECONDS   per-shard wall-clock deadline (> 0)\n";
+         "  --deadline=SECONDS   per-shard wall-clock deadline (> 0)\n"
+         "  --crypto=calibrated|live\n"
+         "                       fig16 ipsec: charge the calibrated cost only, or\n"
+         "                       also run the real ESP gateway per packet\n";
 }
 
 /// Strict single-pass parser behind parse_args(): every argv entry must
@@ -185,6 +202,16 @@ inline bool try_parse_args(int argc, char** argv, BackendChoice def_backend, int
         return false;
       }
       out.deadline_s = s;
+    } else if (arg.rfind("--crypto=", 0) == 0) {
+      const std::string v = arg.substr(9);
+      if (v == "calibrated") {
+        out.crypto = CryptoMode::kCalibrated;
+      } else if (v == "live") {
+        out.crypto = CryptoMode::kLive;
+      } else {
+        error = "unknown --crypto value '" + v + "' (calibrated|live)";
+        return false;
+      }
     } else {
       error = "unknown flag '" + arg + "'";
       return false;

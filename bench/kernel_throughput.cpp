@@ -65,6 +65,9 @@
 
 #include "apps/experiment.hpp"
 #include "common.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto_common.hpp"
 #include "scenario/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulation.hpp"
@@ -805,6 +808,115 @@ int main(int argc, char** argv) {
     std::cout << (m1_diverged ? "  [TELEMETRY DIVERGED]" : "  (identical telemetry)") << "\n";
   }
 
+  // --- crypto substrate summary + fig16 live-crypto delta ----------------
+  // Headline numbers only; the full scalar/ttable/auto matrix is
+  // bench_crypto's job (BENCH_crypto.json). Tracked here too so the kernel
+  // JSON carries the crypto trajectory PR over PR alongside events/sec.
+  namespace cryptob = metro::bench::cryptob;
+  using cryptob::Sample;
+  const int crypto_trials = fast ? 5 : 7;
+  const std::span<const std::uint8_t, 16> ckey(cryptob::kBenchKey);
+  const metro::crypto::AesCbc c_fast(ckey);
+  const metro::crypto::ScalarAesCbc c_scalar(ckey);
+  std::vector<std::uint8_t> cbuf(1024);
+  for (std::size_t i = 0; i < cbuf.size(); ++i) cbuf[i] = static_cast<std::uint8_t>(i);
+  const std::uint64_t cbc_iters = 2'000 * scale;
+  const Sample cbc_enc_scalar =
+      cryptob::time_ns_per_op(crypto_trials, cbc_iters, [&](std::uint64_t n) {
+        return cryptob::cbc_loop<metro::crypto::ScalarAesCbc, false>(c_scalar, cbuf, n);
+      });
+  const Sample cbc_enc_fast =
+      cryptob::time_ns_per_op(crypto_trials, cbc_iters, [&](std::uint64_t n) {
+        return cryptob::cbc_loop<metro::crypto::AesCbc, false>(c_fast, cbuf, n);
+      });
+  const Sample cbc_dec_scalar =
+      cryptob::time_ns_per_op(crypto_trials, cbc_iters, [&](std::uint64_t n) {
+        return cryptob::cbc_loop<metro::crypto::ScalarAesCbc, true>(c_scalar, cbuf, n);
+      });
+  const Sample cbc_dec_fast =
+      cryptob::time_ns_per_op(crypto_trials, cbc_iters, [&](std::uint64_t n) {
+        return cryptob::cbc_loop<metro::crypto::AesCbc, true>(c_fast, cbuf, n);
+      });
+  const std::vector<std::uint8_t> c_auth_key(20, 0xa5);
+  const metro::crypto::HmacSha1 h_fast(c_auth_key);
+  const metro::crypto::ScalarHmacSha1 h_scalar(c_auth_key);
+  const std::vector<std::uint8_t> c_msg(64, 0x5a);
+  const std::uint64_t hmac_iters = 10'000 * scale;
+  const Sample hmac_scalar =
+      cryptob::time_ns_per_op(crypto_trials, hmac_iters,
+                              [&](std::uint64_t n) { return cryptob::hmac_loop(h_scalar, c_msg, n); });
+  const Sample hmac_fast =
+      cryptob::time_ns_per_op(crypto_trials, hmac_iters,
+                              [&](std::uint64_t n) { return cryptob::hmac_loop(h_fast, c_msg, n); });
+  const auto c_sa = cryptob::bench_sa();
+  metro::net::Packet c_tmpl;
+  metro::net::build_udp_packet(c_tmpl, {metro::net::ipv4_addr(192, 168, 1, 5),
+                                        metro::net::ipv4_addr(192, 168, 2, 9), 5555, 6666,
+                                        metro::net::kIpProtoUdp});
+  const std::vector<std::uint8_t> c_inner(c_tmpl.data(), c_tmpl.data() + c_tmpl.size());
+  metro::apps::IpsecGateway gw_fast_eg(c_sa), gw_fast_in(c_sa);
+  metro::apps::ScalarIpsecGateway gw_scalar_eg(c_sa), gw_scalar_in(c_sa);
+  const std::uint64_t esp_iters = 10'000 * scale;
+  const Sample esp_scalar =
+      cryptob::time_ns_per_op(crypto_trials, esp_iters, [&](std::uint64_t n) {
+        return cryptob::gateway_loop(gw_scalar_eg, gw_scalar_in, c_inner, n);
+      });
+  const Sample esp_fast = cryptob::time_ns_per_op(crypto_trials, esp_iters, [&](std::uint64_t n) {
+    return cryptob::gateway_loop(gw_fast_eg, gw_fast_in, c_inner, n);
+  });
+  const auto to_pps = [](const Sample& s) { return s.median > 0.0 ? 1e9 / s.median : 0.0; };
+  const char* aes_impl =
+      metro::crypto::Aes128::hardware_available() ? "aesni" : "ttable";
+
+  // fig16 ipsec live-crypto delta: the paper's max-rate IPsec point
+  // (5.61 Mpps, Metronome, heap) run calibrated, then with the real ESP
+  // gateway per packet (fast and scalar substrates). Simulated results
+  // must be bit-identical — the hook is wall-clock-only by construction —
+  // so the delta isolates what the crypto substrate costs end to end.
+  const auto w16 = metro::bench::windows(fast);
+  metro::apps::ExperimentConfig icfg;
+  icfg.driver = metro::apps::DriverKind::kMetronome;
+  icfg.met.per_packet_cost = metro::sim::calib::kIpsecPerPacketCost;
+  icfg.n_cores = 3;
+  icfg.workload.rate_mpps = 5.61;
+  icfg.warmup = w16.warmup;
+  icfg.measure = w16.measure;
+  cryptob::LiveGatewayWorker<metro::apps::IpsecGateway> live_fast_worker(c_sa);
+  cryptob::LiveGatewayWorker<metro::apps::ScalarIpsecGateway> live_scalar_worker(c_sa);
+  std::vector<metro::scenario::Shard> ishards(
+      3, metro::scenario::Shard{"fig16_ipsec_5.61mpps_metronome",
+                                metro::scenario::BackendKind::kHeap, icfg});
+  ishards[1].config.met.packet_work = metro::nic::PacketWork(live_fast_worker);
+  ishards[2].config.met.packet_work = metro::nic::PacketWork(live_scalar_worker);
+  const auto iruns = metro::scenario::SweepRunner(1).run(ishards);
+  const bool live_identical = iruns[0].fingerprint == iruns[1].fingerprint &&
+                              iruns[1].fingerprint == iruns[2].fingerprint;
+  const auto live_pps = [](const metro::scenario::ShardResult& r) {
+    return r.wall_seconds > 0.0 ? static_cast<double>(r.counters.processed) / r.wall_seconds : 0.0;
+  };
+
+  std::cout << "\n  crypto substrate (auto path: " << aes_impl << ", median of " << crypto_trials
+            << " trials):\n"
+            << "    AES-CBC-1024B encrypt " << metro::bench::num(cbc_enc_scalar.median, 0)
+            << " -> " << metro::bench::num(cbc_enc_fast.median, 0) << " ns (x"
+            << metro::bench::num(cryptob::speedup(cbc_enc_scalar, cbc_enc_fast)) << "), decrypt "
+            << metro::bench::num(cbc_dec_scalar.median, 0) << " -> "
+            << metro::bench::num(cbc_dec_fast.median, 0) << " ns (x"
+            << metro::bench::num(cryptob::speedup(cbc_dec_scalar, cbc_dec_fast)) << ")\n"
+            << "    HMAC-SHA1-96 64B " << metro::bench::num(hmac_scalar.median, 0) << " -> "
+            << metro::bench::num(hmac_fast.median, 0) << " ns (x"
+            << metro::bench::num(cryptob::speedup(hmac_scalar, hmac_fast)) << ")\n"
+            << "    ESP encap+decap " << metro::bench::num(to_pps(esp_scalar), 0) << " -> "
+            << metro::bench::num(to_pps(esp_fast), 0) << " pkt/s (x"
+            << metro::bench::num(cryptob::speedup(esp_scalar, esp_fast)) << ")\n"
+            << "  fig16 ipsec 5.61 Mpps Metronome, calibrated vs live crypto:\n"
+            << "    calibrated wall " << metro::bench::num(iruns[0].wall_seconds, 3)
+            << " s | live fast wall " << metro::bench::num(iruns[1].wall_seconds, 3) << " s ("
+            << metro::bench::num(live_pps(iruns[1]), 0) << " sim-pkt/s) | live scalar wall "
+            << metro::bench::num(iruns[2].wall_seconds, 3) << " s ("
+            << metro::bench::num(live_pps(iruns[2]), 0) << " sim-pkt/s)"
+            << (live_identical ? "  (identical telemetry)" : "  [TELEMETRY DIVERGED]") << "\n";
+
   // Machine-readable artifact, emitted through the one JSON path
   // (stats::JsonWriter). Field names unchanged from the hand-rolled
   // schema except counters_identical -> telemetry_identical (the check is
@@ -946,6 +1058,43 @@ int main(int argc, char** argv) {
   w.kv("events_per_sec", fig13_eps);
   w.kv("wall_seconds", fig13_wall);
   w.kv("simulated_throughput_mpps", result.throughput_mpps);
+  w.end_object();
+  w.key("crypto").begin_object();
+  w.kv("aes_impl", aes_impl);
+  w.kv("trials", static_cast<std::uint64_t>(crypto_trials));
+  const auto emit_sample = [&w](const char* name, const Sample& s) {
+    w.key(name).begin_object();
+    w.kv("ns_median", s.median);
+    w.kv("ns_iqr", s.iqr);
+    w.end_object();
+  };
+  emit_sample("aes_cbc_1024_encrypt_scalar", cbc_enc_scalar);
+  emit_sample("aes_cbc_1024_encrypt_fast", cbc_enc_fast);
+  w.kv("aes_cbc_1024_encrypt_speedup", cryptob::speedup(cbc_enc_scalar, cbc_enc_fast));
+  emit_sample("aes_cbc_1024_decrypt_scalar", cbc_dec_scalar);
+  emit_sample("aes_cbc_1024_decrypt_fast", cbc_dec_fast);
+  w.kv("aes_cbc_1024_decrypt_speedup", cryptob::speedup(cbc_dec_scalar, cbc_dec_fast));
+  emit_sample("hmac_sha1_96_64b_scalar", hmac_scalar);
+  emit_sample("hmac_sha1_96_64b_fast", hmac_fast);
+  w.kv("hmac_sha1_96_64b_speedup", cryptob::speedup(hmac_scalar, hmac_fast));
+  emit_sample("esp_encap_decap_scalar", esp_scalar);
+  emit_sample("esp_encap_decap_fast", esp_fast);
+  w.kv("esp_encap_decap_scalar_pps", to_pps(esp_scalar));
+  w.kv("esp_encap_decap_fast_pps", to_pps(esp_fast));
+  w.kv("esp_encap_decap_speedup", cryptob::speedup(esp_scalar, esp_fast));
+  w.key("fig16_ipsec_live").begin_object();
+  w.kv("rate_mpps", 5.61);
+  w.kv("driver", "metronome");
+  w.kv("backend", "heap");
+  w.kv("calibrated_wall_seconds", iruns[0].wall_seconds);
+  w.kv("live_fast_wall_seconds", iruns[1].wall_seconds);
+  w.kv("live_scalar_wall_seconds", iruns[2].wall_seconds);
+  w.kv("live_fast_sim_pkts_per_sec", live_pps(iruns[1]));
+  w.kv("live_scalar_sim_pkts_per_sec", live_pps(iruns[2]));
+  w.kv("live_fast_slowdown_vs_calibrated",
+       iruns[0].wall_seconds > 0.0 ? iruns[1].wall_seconds / iruns[0].wall_seconds : 0.0);
+  w.kv("telemetry_identical", live_identical);
+  w.end_object();
   w.end_object();
   w.end_object();
   w.finish();

@@ -1,18 +1,26 @@
-// IPsec Security Gateway (DPDK's ipsec-secgw sample, §V-G).
-//
-// ESP tunnel mode per RFC 4303: the inner IPv4 packet is padded, AES-CBC-
-// 128 encrypted (fresh IV per packet), authenticated with HMAC-SHA1-96,
-// and wrapped in a new outer IPv4 + ESP header. Decap verifies the tag,
-// decrypts, validates the padding and restores the inner packet. The
-// paper's testbed offloads the cipher to the NIC; here it runs in software
-// on the functional path, while the timing simulator charges
-// calib::kIpsecPerPacketCost (fitted to the sample app's measured 5.61
-// Mpps ceiling).
+/// \file ipsec.hpp
+/// IPsec Security Gateway (DPDK's ipsec-secgw sample, §V-G).
+///
+/// ESP tunnel mode per RFC 4303: the inner IPv4 packet is padded, AES-CBC-
+/// 128 encrypted (fresh IV per packet), authenticated with HMAC-SHA1-96,
+/// and wrapped in a new outer IPv4 + ESP header. Decap verifies the tag
+/// (constant-time compare), decrypts, validates the padding and restores
+/// the inner packet. The paper's testbed offloads the cipher to the NIC;
+/// here it runs in software on the functional path, while the timing
+/// simulator charges calib::kIpsecPerPacketCost (fitted to the sample
+/// app's measured 5.61 Mpps ceiling) — except in the fig16
+/// `--crypto=live` bench mode, which executes this gateway per simulated
+/// packet.
+///
+/// The gateway is templated over a crypto policy so the fast T-table /
+/// midstate substrate (FastCrypto → IpsecGateway) and the scalar oracle
+/// (ScalarCrypto → ScalarIpsecGateway) share one protocol implementation;
+/// the two are wire-compatible and interop is test-pinned.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <optional>
+#include <span>
 
 #include "crypto/aes.hpp"
 #include "crypto/sha1.hpp"
@@ -48,9 +56,25 @@ struct IpsecStats {
   }
 };
 
-class IpsecGateway {
+/// Crypto policy for the data path: T-table AES-CBC + midstate HMAC.
+struct FastCrypto {
+  using Cbc = crypto::AesCbc;
+  using Hmac = crypto::HmacSha1;
+};
+
+/// Crypto policy using the scalar oracle implementations (differential
+/// testing, bench baseline).
+struct ScalarCrypto {
+  using Cbc = crypto::ScalarAesCbc;
+  using Hmac = crypto::ScalarHmacSha1;
+};
+
+/// ESP tunnel gateway over a pluggable crypto policy.
+/// \tparam Crypto FastCrypto or ScalarCrypto.
+template <typename Crypto>
+class BasicIpsecGateway {
  public:
-  explicit IpsecGateway(const SecurityAssociation& sa, std::uint64_t iv_seed = 7);
+  explicit BasicIpsecGateway(const SecurityAssociation& sa, std::uint64_t iv_seed = 7);
 
   /// Outbound: consume an Ethernet/IPv4 packet, produce the tunnel packet
   /// in place. Returns false on malformed input or insufficient room.
@@ -59,6 +83,15 @@ class IpsecGateway {
   /// Inbound: consume a tunnel packet, restore the inner packet in place.
   /// Verifies SPI, the anti-replay window and the HMAC tag.
   bool decap(net::Packet& pkt);
+
+  /// Encapsulate every packet in `pkts` (one call hoists the per-call
+  /// setup across the burst). A packet that fails is left exactly as the
+  /// single-packet call would leave it and is counted in stats().
+  /// Returns the number of packets that succeeded.
+  std::size_t encap_burst(std::span<net::Packet> pkts);
+
+  /// Burst decap; same failure semantics as encap_burst.
+  std::size_t decap_burst(std::span<net::Packet> pkts);
 
   const IpsecStats& stats() const noexcept { return stats_; }
   std::uint32_t tx_sequence() const noexcept { return seq_out_; }
@@ -71,13 +104,21 @@ class IpsecGateway {
   bool replay_check_and_update(std::uint32_t seq);
 
   SecurityAssociation sa_;
-  crypto::AesCbc cipher_;
-  crypto::HmacSha1 hmac_;
+  typename Crypto::Cbc cipher_;
+  typename Crypto::Hmac hmac_;
   sim::Rng iv_rng_;
   std::uint32_t seq_out_ = 0;
   std::uint32_t replay_top_ = 0;    // highest sequence seen
   std::uint64_t replay_bits_ = 0;   // sliding window below replay_top_
   IpsecStats stats_;
 };
+
+/// The data-path gateway (fast substrate).
+using IpsecGateway = BasicIpsecGateway<FastCrypto>;
+/// Scalar-oracle gateway, wire-compatible with IpsecGateway.
+using ScalarIpsecGateway = BasicIpsecGateway<ScalarCrypto>;
+
+extern template class BasicIpsecGateway<FastCrypto>;
+extern template class BasicIpsecGateway<ScalarCrypto>;
 
 }  // namespace metro::apps

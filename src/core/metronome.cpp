@@ -93,6 +93,9 @@ sim::Task BasicMetronome<Sim>::thread_task(int thread_id) {
     while ((n = ring.pop_burst(burst.data(), cfg_.burst)) > 0) {
       drained += static_cast<std::uint64_t>(n);
       co_await core.run_for(ent, static_cast<Time>(n) * cfg_.per_packet_cost);
+      if (cfg_.packet_work) {
+        for (int i = 0; i < n; ++i) cfg_.packet_work(burst[static_cast<std::size_t>(i)]);
+      }
       for (int i = 0; i < n; ++i) port_.tx().send(burst[static_cast<std::size_t>(i)]);
       q.packets += static_cast<std::uint64_t>(n);
     }

@@ -49,6 +49,11 @@ struct MetronomeConfig {
   /// Per-packet retrieval+processing cost of the hosted application.
   sim::Time per_packet_cost = sim::calib::kL3fwdPerPacketCost;
   int burst = sim::calib::kBurstSize;
+  /// Optional real per-packet work run for every drained descriptor after
+  /// its cost is charged (wall-clock only — simulated time and telemetry
+  /// are unaffected). Unset by default; the fig16 --crypto=live bench mode
+  /// points it at the real ESP gateway.
+  nic::PacketWork packet_work{};
   /// Sleep service used by every thread (hr_sleep by default).
   sim::SleepServiceConfig sleep{};
 

@@ -1,7 +1,10 @@
 #include "crypto/aes.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cstring>
+
+#include "crypto/aes_ni.hpp"
 
 namespace metro::crypto {
 
@@ -50,6 +53,8 @@ constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
 }
 
+// Off the hot path only: T-table generation, the decryption key schedule,
+// and the scalar oracle's InvMixColumns.
 constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   std::uint8_t p = 0;
   for (int i = 0; i < 8; ++i) {
@@ -60,9 +65,273 @@ constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   return p;
 }
 
+constexpr std::uint32_t pack(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  return (static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+// ---------------------------------------------------------------------------
+// T-tables, generated at compile time from the S-box.
+//
+// The state is four big-endian 32-bit column words s0..s3 (row 0 in the top
+// byte). One encryption round folds SubBytes + ShiftRows + MixColumns +
+// AddRoundKey into
+//
+//   t_j = Te0[s_j >> 24] ^ Te1[(s_{j+1} >> 16) & 0xff]
+//       ^ Te2[(s_{j+2} >> 8) & 0xff] ^ Te3[s_{j+3} & 0xff] ^ rk[j]
+//
+// where Te0[x] packs the MixColumns column {02,01,01,03}·S[x] and Te1..Te3
+// are its byte rotations for rows 1..3. The Td tables do the same for the
+// inverse round with the {0e,09,0d,0b} InvMixColumns column; decryption
+// runs the equivalent inverse cipher, whose middle round keys get
+// InvMixColumns applied once at schedule time (dk_), not per block.
+// ---------------------------------------------------------------------------
+
+struct Tables {
+  std::uint32_t t0[256], t1[256], t2[256], t3[256];
+};
+
+constexpr Tables make_enc_tables() {
+  Tables e{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    e.t0[i] = pack(s2, s, s, s3);
+    e.t1[i] = pack(s3, s2, s, s);
+    e.t2[i] = pack(s, s3, s2, s);
+    e.t3[i] = pack(s, s, s3, s2);
+  }
+  return e;
+}
+
+constexpr Tables make_dec_tables() {
+  Tables d{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kInvSbox[i];
+    const std::uint8_t e = gmul(s, 0x0e);
+    const std::uint8_t n = gmul(s, 0x09);
+    const std::uint8_t t = gmul(s, 0x0d);
+    const std::uint8_t b = gmul(s, 0x0b);
+    d.t0[i] = pack(e, n, t, b);
+    d.t1[i] = pack(b, e, n, t);
+    d.t2[i] = pack(t, b, e, n);
+    d.t3[i] = pack(n, t, b, e);
+  }
+  return d;
+}
+
+constexpr Tables kTe = make_enc_tables();
+constexpr Tables kTd = make_dec_tables();
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap32(v);
+  return v;
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap32(v);
+  std::memcpy(p, &v, 4);
+}
+
+constexpr std::uint32_t sub_word(std::uint32_t w) {
+  return pack(kSbox[(w >> 24) & 0xff], kSbox[(w >> 16) & 0xff], kSbox[(w >> 8) & 0xff],
+              kSbox[w & 0xff]);
+}
+
+/// InvMixColumns on one packed column word (decryption key schedule only).
+constexpr std::uint32_t inv_mix_word(std::uint32_t w) {
+  const std::uint8_t a = static_cast<std::uint8_t>(w >> 24);
+  const std::uint8_t b = static_cast<std::uint8_t>(w >> 16);
+  const std::uint8_t c = static_cast<std::uint8_t>(w >> 8);
+  const std::uint8_t d = static_cast<std::uint8_t>(w);
+  return pack(static_cast<std::uint8_t>(gmul(a, 0x0e) ^ gmul(b, 0x0b) ^ gmul(c, 0x0d) ^
+                                        gmul(d, 0x09)),
+              static_cast<std::uint8_t>(gmul(a, 0x09) ^ gmul(b, 0x0e) ^ gmul(c, 0x0b) ^
+                                        gmul(d, 0x0d)),
+              static_cast<std::uint8_t>(gmul(a, 0x0d) ^ gmul(b, 0x09) ^ gmul(c, 0x0e) ^
+                                        gmul(d, 0x0b)),
+              static_cast<std::uint8_t>(gmul(a, 0x0b) ^ gmul(b, 0x0d) ^ gmul(c, 0x09) ^
+                                        gmul(d, 0x0e)));
+}
+
 }  // namespace
 
-Aes128::Aes128(std::span<const std::uint8_t, kKeySize> key) {
+// ---------------------------------------------------------------------------
+// Aes128 (T-table)
+// ---------------------------------------------------------------------------
+
+Aes128::Aes128(std::span<const std::uint8_t, kKeySize> key, Impl impl) {
+  for (int i = 0; i < 4; ++i) ek_[i] = load_be32(key.data() + 4 * i);
+  for (int i = 4; i < 4 * (kRounds + 1); ++i) {
+    std::uint32_t t = ek_[static_cast<std::size_t>(i - 1)];
+    if (i % 4 == 0) {
+      t = sub_word(std::rotl(t, 8)) ^ (static_cast<std::uint32_t>(kRcon[i / 4 - 1]) << 24);
+    }
+    ek_[static_cast<std::size_t>(i)] = ek_[static_cast<std::size_t>(i - 4)] ^ t;
+  }
+  // Equivalent inverse cipher: reverse the round order and push the middle
+  // round keys through InvMixColumns once, here, instead of per block.
+  for (int j = 0; j < 4; ++j) {
+    dk_[static_cast<std::size_t>(j)] = ek_[static_cast<std::size_t>(4 * kRounds + j)];
+    dk_[static_cast<std::size_t>(4 * kRounds + j)] = ek_[static_cast<std::size_t>(j)];
+  }
+  for (int r = 1; r < kRounds; ++r) {
+    for (int j = 0; j < 4; ++j) {
+      dk_[static_cast<std::size_t>(4 * r + j)] =
+          inv_mix_word(ek_[static_cast<std::size_t>(4 * (kRounds - r) + j)]);
+    }
+  }
+  // Serialise both schedules to FIPS-197 byte order for the AES-NI path.
+  // InvMixColumns on a packed column word is exactly aesimc on the byte
+  // image, so dkb_ is directly usable as the aesdec key schedule.
+  for (std::size_t i = 0; i < ek_.size(); ++i) {
+    store_be32(&ekb_[4 * i], ek_[i]);
+    store_be32(&dkb_[4 * i], dk_[i]);
+  }
+  assert(impl != Impl::kHardware || hardware_available());
+  use_hw_ = impl == Impl::kHardware || (impl == Impl::kAuto && hardware_available());
+}
+
+bool Aes128::hardware_available() noexcept { return detail::aesni_supported(); }
+
+void Aes128::encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const {
+  if (use_hw_) {
+    detail::aesni_encrypt_block(ekb_.data(), in, out);
+    return;
+  }
+  std::uint32_t s0 = load_be32(in) ^ ek_[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ ek_[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ ek_[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ ek_[3];
+  for (int r = 1; r < kRounds; ++r) {
+    const std::uint32_t* rk = &ek_[static_cast<std::size_t>(4 * r)];
+    const std::uint32_t t0 = kTe.t0[s0 >> 24] ^ kTe.t1[(s1 >> 16) & 0xff] ^
+                             kTe.t2[(s2 >> 8) & 0xff] ^ kTe.t3[s3 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kTe.t0[s1 >> 24] ^ kTe.t1[(s2 >> 16) & 0xff] ^
+                             kTe.t2[(s3 >> 8) & 0xff] ^ kTe.t3[s0 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kTe.t0[s2 >> 24] ^ kTe.t1[(s3 >> 16) & 0xff] ^
+                             kTe.t2[(s0 >> 8) & 0xff] ^ kTe.t3[s1 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kTe.t0[s3 >> 24] ^ kTe.t1[(s0 >> 16) & 0xff] ^
+                             kTe.t2[(s1 >> 8) & 0xff] ^ kTe.t3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  const std::uint32_t* rk = &ek_[static_cast<std::size_t>(4 * kRounds)];
+  store_be32(out + 0, pack(kSbox[s0 >> 24], kSbox[(s1 >> 16) & 0xff], kSbox[(s2 >> 8) & 0xff],
+                           kSbox[s3 & 0xff]) ^
+                          rk[0]);
+  store_be32(out + 4, pack(kSbox[s1 >> 24], kSbox[(s2 >> 16) & 0xff], kSbox[(s3 >> 8) & 0xff],
+                           kSbox[s0 & 0xff]) ^
+                          rk[1]);
+  store_be32(out + 8, pack(kSbox[s2 >> 24], kSbox[(s3 >> 16) & 0xff], kSbox[(s0 >> 8) & 0xff],
+                           kSbox[s1 & 0xff]) ^
+                          rk[2]);
+  store_be32(out + 12, pack(kSbox[s3 >> 24], kSbox[(s0 >> 16) & 0xff], kSbox[(s1 >> 8) & 0xff],
+                            kSbox[s2 & 0xff]) ^
+                           rk[3]);
+}
+
+void Aes128::decrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const {
+  if (use_hw_) {
+    detail::aesni_decrypt_block(dkb_.data(), in, out);
+    return;
+  }
+  std::uint32_t s0 = load_be32(in) ^ dk_[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ dk_[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ dk_[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ dk_[3];
+  for (int r = 1; r < kRounds; ++r) {
+    const std::uint32_t* rk = &dk_[static_cast<std::size_t>(4 * r)];
+    const std::uint32_t t0 = kTd.t0[s0 >> 24] ^ kTd.t1[(s3 >> 16) & 0xff] ^
+                             kTd.t2[(s2 >> 8) & 0xff] ^ kTd.t3[s1 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kTd.t0[s1 >> 24] ^ kTd.t1[(s0 >> 16) & 0xff] ^
+                             kTd.t2[(s3 >> 8) & 0xff] ^ kTd.t3[s2 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kTd.t0[s2 >> 24] ^ kTd.t1[(s1 >> 16) & 0xff] ^
+                             kTd.t2[(s0 >> 8) & 0xff] ^ kTd.t3[s3 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kTd.t0[s3 >> 24] ^ kTd.t1[(s2 >> 16) & 0xff] ^
+                             kTd.t2[(s1 >> 8) & 0xff] ^ kTd.t3[s0 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  const std::uint32_t* rk = &dk_[static_cast<std::size_t>(4 * kRounds)];
+  store_be32(out + 0, pack(kInvSbox[s0 >> 24], kInvSbox[(s3 >> 16) & 0xff],
+                           kInvSbox[(s2 >> 8) & 0xff], kInvSbox[s1 & 0xff]) ^
+                          rk[0]);
+  store_be32(out + 4, pack(kInvSbox[s1 >> 24], kInvSbox[(s0 >> 16) & 0xff],
+                           kInvSbox[(s3 >> 8) & 0xff], kInvSbox[s2 & 0xff]) ^
+                          rk[1]);
+  store_be32(out + 8, pack(kInvSbox[s2 >> 24], kInvSbox[(s1 >> 16) & 0xff],
+                           kInvSbox[(s0 >> 8) & 0xff], kInvSbox[s3 & 0xff]) ^
+                          rk[2]);
+  store_be32(out + 12, pack(kInvSbox[s3 >> 24], kInvSbox[(s2 >> 16) & 0xff],
+                            kInvSbox[(s1 >> 8) & 0xff], kInvSbox[s0 & 0xff]) ^
+                           rk[3]);
+}
+
+void Aes128::decrypt_block4(const std::uint8_t in[4 * kBlockSize],
+                            std::uint8_t out[4 * kBlockSize]) const {
+  if (use_hw_) {
+    for (int b = 0; b < 4; ++b) detail::aesni_decrypt_block(dkb_.data(), in + 16 * b, out + 16 * b);
+    return;
+  }
+  // Four independent states advanced in lockstep: each round's 16 table
+  // loads per block interleave across the four blocks, hiding L1 latency
+  // that a serial block-at-a-time loop would expose.
+  std::uint32_t s[4][4];
+  for (int b = 0; b < 4; ++b) {
+    for (int j = 0; j < 4; ++j) {
+      s[b][j] = load_be32(in + 16 * b + 4 * j) ^ dk_[static_cast<std::size_t>(j)];
+    }
+  }
+  for (int r = 1; r < kRounds; ++r) {
+    const std::uint32_t* rk = &dk_[static_cast<std::size_t>(4 * r)];
+    std::uint32_t t[4][4];
+    for (int b = 0; b < 4; ++b) {
+      t[b][0] = kTd.t0[s[b][0] >> 24] ^ kTd.t1[(s[b][3] >> 16) & 0xff] ^
+                kTd.t2[(s[b][2] >> 8) & 0xff] ^ kTd.t3[s[b][1] & 0xff] ^ rk[0];
+      t[b][1] = kTd.t0[s[b][1] >> 24] ^ kTd.t1[(s[b][0] >> 16) & 0xff] ^
+                kTd.t2[(s[b][3] >> 8) & 0xff] ^ kTd.t3[s[b][2] & 0xff] ^ rk[1];
+      t[b][2] = kTd.t0[s[b][2] >> 24] ^ kTd.t1[(s[b][1] >> 16) & 0xff] ^
+                kTd.t2[(s[b][0] >> 8) & 0xff] ^ kTd.t3[s[b][3] & 0xff] ^ rk[2];
+      t[b][3] = kTd.t0[s[b][3] >> 24] ^ kTd.t1[(s[b][2] >> 16) & 0xff] ^
+                kTd.t2[(s[b][1] >> 8) & 0xff] ^ kTd.t3[s[b][0] & 0xff] ^ rk[3];
+    }
+    std::memcpy(s, t, sizeof(s));
+  }
+  const std::uint32_t* rk = &dk_[static_cast<std::size_t>(4 * kRounds)];
+  for (int b = 0; b < 4; ++b) {
+    store_be32(out + 16 * b + 0,
+               pack(kInvSbox[s[b][0] >> 24], kInvSbox[(s[b][3] >> 16) & 0xff],
+                    kInvSbox[(s[b][2] >> 8) & 0xff], kInvSbox[s[b][1] & 0xff]) ^
+                   rk[0]);
+    store_be32(out + 16 * b + 4,
+               pack(kInvSbox[s[b][1] >> 24], kInvSbox[(s[b][0] >> 16) & 0xff],
+                    kInvSbox[(s[b][3] >> 8) & 0xff], kInvSbox[s[b][2] & 0xff]) ^
+                   rk[1]);
+    store_be32(out + 16 * b + 8,
+               pack(kInvSbox[s[b][2] >> 24], kInvSbox[(s[b][1] >> 16) & 0xff],
+                    kInvSbox[(s[b][0] >> 8) & 0xff], kInvSbox[s[b][3] & 0xff]) ^
+                   rk[2]);
+    store_be32(out + 16 * b + 12,
+               pack(kInvSbox[s[b][3] >> 24], kInvSbox[(s[b][2] >> 16) & 0xff],
+                    kInvSbox[(s[b][1] >> 8) & 0xff], kInvSbox[s[b][0] & 0xff]) ^
+                   rk[3]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScalarAes128 (the original per-byte implementation, kept as the oracle)
+// ---------------------------------------------------------------------------
+
+ScalarAes128::ScalarAes128(std::span<const std::uint8_t, kKeySize> key) {
   std::memcpy(round_keys_.data(), key.data(), kKeySize);
   for (int i = 4; i < 4 * (kRounds + 1); ++i) {
     std::uint8_t temp[4];
@@ -82,7 +351,8 @@ Aes128::Aes128(std::span<const std::uint8_t, kKeySize> key) {
   }
 }
 
-void Aes128::encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const {
+void ScalarAes128::encrypt_block(const std::uint8_t in[kBlockSize],
+                                 std::uint8_t out[kBlockSize]) const {
   std::uint8_t s[16];
   for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[static_cast<std::size_t>(i)];
 
@@ -114,7 +384,8 @@ void Aes128::encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[k
   std::memcpy(out, s, 16);
 }
 
-void Aes128::decrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const {
+void ScalarAes128::decrypt_block(const std::uint8_t in[kBlockSize],
+                                 std::uint8_t out[kBlockSize]) const {
   std::uint8_t s[16];
   for (int i = 0; i < 16; ++i) {
     s[i] = in[i] ^ round_keys_[static_cast<std::size_t>(kRounds) * 16 + static_cast<std::size_t>(i)];
@@ -148,10 +419,19 @@ void Aes128::decrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[k
   std::memcpy(out, s, 16);
 }
 
-void AesCbc::encrypt(std::span<const std::uint8_t> in, std::span<const std::uint8_t, 16> iv,
-                     std::span<std::uint8_t> out) const {
-  assert(in.size() % Aes128::kBlockSize == 0);
+// ---------------------------------------------------------------------------
+// CBC
+// ---------------------------------------------------------------------------
+
+void Aes128::cbc_encrypt(std::span<const std::uint8_t> in, std::span<const std::uint8_t, 16> iv,
+                         std::span<std::uint8_t> out) const {
+  assert(in.size() % kBlockSize == 0);
   assert(out.size() >= in.size());
+  if (use_hw_) {
+    detail::aesni_cbc_encrypt(ekb_.data(), in.data(), in.size() / kBlockSize, iv.data(),
+                              out.data());
+    return;
+  }
   std::uint8_t chain[16];
   std::memcpy(chain, iv.data(), 16);
   for (std::size_t off = 0; off < in.size(); off += 16) {
@@ -159,27 +439,119 @@ void AesCbc::encrypt(std::span<const std::uint8_t> in, std::span<const std::uint
     for (int i = 0; i < 16; ++i) {
       block[i] = in[off + static_cast<std::size_t>(i)] ^ chain[i];
     }
-    cipher_.encrypt_block(block, &out[off]);
+    encrypt_block(block, &out[off]);
     std::memcpy(chain, &out[off], 16);
   }
 }
 
-void AesCbc::decrypt(std::span<const std::uint8_t> in, std::span<const std::uint8_t, 16> iv,
-                     std::span<std::uint8_t> out) const {
-  assert(in.size() % Aes128::kBlockSize == 0);
+void Aes128::cbc_decrypt(std::span<const std::uint8_t> in, std::span<const std::uint8_t, 16> iv,
+                         std::span<std::uint8_t> out) const {
+  assert(in.size() % kBlockSize == 0);
   assert(out.size() >= in.size());
+  if (use_hw_) {
+    detail::aesni_cbc_decrypt(dkb_.data(), in.data(), in.size() / kBlockSize, iv.data(),
+                              out.data());
+    return;
+  }
   std::uint8_t chain[16];
   std::memcpy(chain, iv.data(), 16);
-  for (std::size_t off = 0; off < in.size(); off += 16) {
+  std::size_t off = 0;
+  // Ciphertext blocks decrypt independently; run four at a time through
+  // the pipelined path. cbuf keeps the ciphertext (the next chain values)
+  // intact when in and out alias.
+  std::uint8_t cbuf[64], pbuf[64];
+  while (in.size() - off >= 64) {
+    std::memcpy(cbuf, &in[off], 64);
+    decrypt_block4(cbuf, pbuf);
+    for (int i = 0; i < 16; ++i) out[off + static_cast<std::size_t>(i)] = pbuf[i] ^ chain[i];
+    for (int b = 1; b < 4; ++b) {
+      for (int i = 0; i < 16; ++i) {
+        out[off + static_cast<std::size_t>(16 * b + i)] = pbuf[16 * b + i] ^ cbuf[16 * (b - 1) + i];
+      }
+    }
+    std::memcpy(chain, &cbuf[48], 16);
+    off += 64;
+  }
+  for (; off < in.size(); off += 16) {
     std::uint8_t cipher_block[16];
     std::memcpy(cipher_block, &in[off], 16);  // copy: in/out may alias
     std::uint8_t block[16];
-    cipher_.decrypt_block(cipher_block, block);
+    decrypt_block(cipher_block, block);
     for (int i = 0; i < 16; ++i) {
       out[off + static_cast<std::size_t>(i)] = block[i] ^ chain[i];
     }
     std::memcpy(chain, cipher_block, 16);
   }
 }
+
+template <typename Cipher>
+void BasicAesCbc<Cipher>::encrypt(std::span<const std::uint8_t> in,
+                                  std::span<const std::uint8_t, 16> iv,
+                                  std::span<std::uint8_t> out) const {
+  if constexpr (requires { cipher_.cbc_encrypt(in, iv, out); }) {
+    cipher_.cbc_encrypt(in, iv, out);
+    return;
+  } else {
+    assert(in.size() % Cipher::kBlockSize == 0);
+    assert(out.size() >= in.size());
+    std::uint8_t chain[16];
+    std::memcpy(chain, iv.data(), 16);
+    for (std::size_t off = 0; off < in.size(); off += 16) {
+      std::uint8_t block[16];
+      for (int i = 0; i < 16; ++i) {
+        block[i] = in[off + static_cast<std::size_t>(i)] ^ chain[i];
+      }
+      cipher_.encrypt_block(block, &out[off]);
+      std::memcpy(chain, &out[off], 16);
+    }
+  }
+}
+
+template <typename Cipher>
+void BasicAesCbc<Cipher>::decrypt(std::span<const std::uint8_t> in,
+                                  std::span<const std::uint8_t, 16> iv,
+                                  std::span<std::uint8_t> out) const {
+  if constexpr (requires { cipher_.cbc_decrypt(in, iv, out); }) {
+    cipher_.cbc_decrypt(in, iv, out);
+    return;
+  } else {
+    assert(in.size() % Cipher::kBlockSize == 0);
+    assert(out.size() >= in.size());
+    std::uint8_t chain[16];
+    std::memcpy(chain, iv.data(), 16);
+    std::size_t off = 0;
+    if constexpr (requires(const Cipher& c, const std::uint8_t* p, std::uint8_t* q) {
+                    c.decrypt_block4(p, q);
+                  }) {
+      std::uint8_t cbuf[64], pbuf[64];
+      while (in.size() - off >= 64) {
+        std::memcpy(cbuf, &in[off], 64);
+        cipher_.decrypt_block4(cbuf, pbuf);
+        for (int i = 0; i < 16; ++i) out[off + static_cast<std::size_t>(i)] = pbuf[i] ^ chain[i];
+        for (int b = 1; b < 4; ++b) {
+          for (int i = 0; i < 16; ++i) {
+            out[off + static_cast<std::size_t>(16 * b + i)] =
+                pbuf[16 * b + i] ^ cbuf[16 * (b - 1) + i];
+          }
+        }
+        std::memcpy(chain, &cbuf[48], 16);
+        off += 64;
+      }
+    }
+    for (; off < in.size(); off += 16) {
+      std::uint8_t cipher_block[16];
+      std::memcpy(cipher_block, &in[off], 16);  // copy: in/out may alias
+      std::uint8_t block[16];
+      cipher_.decrypt_block(cipher_block, block);
+      for (int i = 0; i < 16; ++i) {
+        out[off + static_cast<std::size_t>(i)] = block[i] ^ chain[i];
+      }
+      std::memcpy(chain, cipher_block, 16);
+    }
+  }
+}
+
+template class BasicAesCbc<Aes128>;
+template class BasicAesCbc<ScalarAes128>;
 
 }  // namespace metro::crypto

@@ -1,0 +1,138 @@
+// AES-NI implementation of the detail interface in aes_ni.hpp.
+//
+// This is the only translation unit built with -maes (see CMakeLists.txt),
+// so the intrinsics must never leak across TU boundaries: callers go
+// through plain-function entry points and gate on aesni_supported() first.
+// On toolchains or architectures without the extension the file compiles
+// to stubs that report "unsupported" and abort if reached anyway.
+#include "crypto/aes_ni.hpp"
+
+#include <cstdlib>
+
+#if defined(__AES__) && (defined(__x86_64__) || defined(__i386__))
+#include <immintrin.h>
+
+namespace metro::crypto::detail {
+
+namespace {
+
+inline __m128i round_key(const std::uint8_t* kb, int r) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(kb) + r);
+}
+
+inline __m128i load(const std::uint8_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline void store(std::uint8_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+inline __m128i encrypt_one(const std::uint8_t* ekb, __m128i x) {
+  x = _mm_xor_si128(x, round_key(ekb, 0));
+  for (int r = 1; r < 10; ++r) x = _mm_aesenc_si128(x, round_key(ekb, r));
+  return _mm_aesenclast_si128(x, round_key(ekb, 10));
+}
+
+inline __m128i decrypt_one(const std::uint8_t* dkb, __m128i x) {
+  x = _mm_xor_si128(x, round_key(dkb, 0));
+  for (int r = 1; r < 10; ++r) x = _mm_aesdec_si128(x, round_key(dkb, r));
+  return _mm_aesdeclast_si128(x, round_key(dkb, 10));
+}
+
+}  // namespace
+
+bool aesni_supported() noexcept { return __builtin_cpu_supports("aes") != 0; }
+
+void aesni_encrypt_block(const std::uint8_t* ekb, const std::uint8_t* in,
+                         std::uint8_t* out) noexcept {
+  store(out, encrypt_one(ekb, load(in)));
+}
+
+void aesni_decrypt_block(const std::uint8_t* dkb, const std::uint8_t* in,
+                         std::uint8_t* out) noexcept {
+  store(out, decrypt_one(dkb, load(in)));
+}
+
+void aesni_cbc_encrypt(const std::uint8_t* ekb, const std::uint8_t* in, std::size_t n_blocks,
+                       const std::uint8_t* iv, std::uint8_t* out) noexcept {
+  // CBC encryption is inherently serial (block i chains into i+1); the win
+  // here is keeping the chain value in a register across the whole buffer
+  // and paying one aesenc chain per block instead of a table-walk round.
+  __m128i chain = load(iv);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    chain = encrypt_one(ekb, _mm_xor_si128(load(in + 16 * b), chain));
+    store(out + 16 * b, chain);
+  }
+}
+
+void aesni_cbc_decrypt(const std::uint8_t* dkb, const std::uint8_t* in, std::size_t n_blocks,
+                       const std::uint8_t* iv, std::uint8_t* out) noexcept {
+  // Ciphertext blocks decrypt independently, so keep four aesdec chains in
+  // flight per iteration to cover the instruction latency. Ciphertext is
+  // read before any store, which makes in-place (in == out) safe.
+  __m128i prev = load(iv);
+  std::size_t b = 0;
+  for (; b + 4 <= n_blocks; b += 4) {
+    const __m128i c0 = load(in + 16 * b);
+    const __m128i c1 = load(in + 16 * b + 16);
+    const __m128i c2 = load(in + 16 * b + 32);
+    const __m128i c3 = load(in + 16 * b + 48);
+    const __m128i k0 = round_key(dkb, 0);
+    __m128i x0 = _mm_xor_si128(c0, k0);
+    __m128i x1 = _mm_xor_si128(c1, k0);
+    __m128i x2 = _mm_xor_si128(c2, k0);
+    __m128i x3 = _mm_xor_si128(c3, k0);
+    for (int r = 1; r < 10; ++r) {
+      const __m128i k = round_key(dkb, r);
+      x0 = _mm_aesdec_si128(x0, k);
+      x1 = _mm_aesdec_si128(x1, k);
+      x2 = _mm_aesdec_si128(x2, k);
+      x3 = _mm_aesdec_si128(x3, k);
+    }
+    const __m128i klast = round_key(dkb, 10);
+    x0 = _mm_aesdeclast_si128(x0, klast);
+    x1 = _mm_aesdeclast_si128(x1, klast);
+    x2 = _mm_aesdeclast_si128(x2, klast);
+    x3 = _mm_aesdeclast_si128(x3, klast);
+    store(out + 16 * b, _mm_xor_si128(x0, prev));
+    store(out + 16 * b + 16, _mm_xor_si128(x1, c0));
+    store(out + 16 * b + 32, _mm_xor_si128(x2, c1));
+    store(out + 16 * b + 48, _mm_xor_si128(x3, c2));
+    prev = c3;
+  }
+  for (; b < n_blocks; ++b) {
+    const __m128i c = load(in + 16 * b);
+    store(out + 16 * b, _mm_xor_si128(decrypt_one(dkb, c), prev));
+    prev = c;
+  }
+}
+
+}  // namespace metro::crypto::detail
+
+#else  // no AES ISA available at compile time: portable stubs
+
+namespace metro::crypto::detail {
+
+bool aesni_supported() noexcept { return false; }
+
+// The dispatcher gates on aesni_supported(); reaching these is a logic
+// error, not a recoverable condition.
+void aesni_encrypt_block(const std::uint8_t*, const std::uint8_t*, std::uint8_t*) noexcept {
+  std::abort();
+}
+void aesni_decrypt_block(const std::uint8_t*, const std::uint8_t*, std::uint8_t*) noexcept {
+  std::abort();
+}
+void aesni_cbc_encrypt(const std::uint8_t*, const std::uint8_t*, std::size_t,
+                       const std::uint8_t*, std::uint8_t*) noexcept {
+  std::abort();
+}
+void aesni_cbc_decrypt(const std::uint8_t*, const std::uint8_t*, std::size_t,
+                       const std::uint8_t*, std::uint8_t*) noexcept {
+  std::abort();
+}
+
+}  // namespace metro::crypto::detail
+
+#endif

@@ -1,0 +1,35 @@
+// Internal interface to the AES-NI translation unit (aes_ni.cpp, compiled
+// with -maes where the compiler supports it). Not part of the public crypto
+// API — Aes128 dispatches here when the running CPU has the AES ISA.
+//
+// Key layout: `ekb` / `dkb` are the 11 round keys serialised as 176 bytes in
+// FIPS-197 order (each schedule word stored big-endian), which is exactly
+// the byte image _mm_loadu_si128 expects for aesenc/aesdec operands. `dkb`
+// must be the equivalent-inverse-cipher schedule (InvMixColumns already
+// applied to the middle rounds) — Aes128 computes that once in its ctor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace metro::crypto::detail {
+
+/// True when the running CPU exposes the AES ISA (runtime cpuid check;
+/// always false on non-x86 builds or when the compiler lacks -maes).
+bool aesni_supported() noexcept;
+
+void aesni_encrypt_block(const std::uint8_t* ekb, const std::uint8_t* in,
+                         std::uint8_t* out) noexcept;
+void aesni_decrypt_block(const std::uint8_t* dkb, const std::uint8_t* in,
+                         std::uint8_t* out) noexcept;
+
+/// Whole-buffer CBC over `n_blocks` 16-byte blocks; keeps the chain value
+/// in a register across the buffer. in == out (in-place) is allowed.
+void aesni_cbc_encrypt(const std::uint8_t* ekb, const std::uint8_t* in, std::size_t n_blocks,
+                       const std::uint8_t* iv, std::uint8_t* out) noexcept;
+/// CBC decrypt, four blocks in flight per iteration (aesdec pipelines
+/// across independent blocks). in == out (in-place) is allowed.
+void aesni_cbc_decrypt(const std::uint8_t* dkb, const std::uint8_t* in, std::size_t n_blocks,
+                       const std::uint8_t* iv, std::uint8_t* out) noexcept;
+
+}  // namespace metro::crypto::detail

@@ -1,11 +1,22 @@
 #include "crypto/sha1.hpp"
 
+#include <bit>
+#include <cassert>
 #include <cstring>
 
 namespace metro::crypto {
 
 namespace {
+
 constexpr std::uint32_t rotl32(std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap32(v);
+  return v;
+}
+
 }  // namespace
 
 void Sha1::reset() {
@@ -15,6 +26,13 @@ void Sha1::reset() {
   state_[3] = 0x10325476;
   state_[4] = 0xC3D2E1F0;
   total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::reset_from(const State& s, std::uint64_t bytes_consumed) {
+  assert(bytes_consumed % kBlockSize == 0);
+  for (int i = 0; i < 5; ++i) state_[i] = s.h[static_cast<std::size_t>(i)];
+  total_bytes_ = bytes_consumed;
   buffered_ = 0;
 }
 
@@ -41,37 +59,40 @@ void Sha1::update(std::span<const std::uint8_t> data) {
   }
 }
 
-std::array<std::uint8_t, Sha1::kDigestSize> Sha1::finish() {
+void Sha1::finish_into(std::span<std::uint8_t> out) {
+  assert(out.size() <= kDigestSize);
   const std::uint64_t bit_len = total_bytes_ * 8;
-  const std::uint8_t pad_byte = 0x80;
-  update(std::span(&pad_byte, 1));
-  const std::uint8_t zero = 0;
-  while (buffered_ != 56) update(std::span(&zero, 1));
-  std::uint8_t len_be[8];
-  for (int i = 0; i < 8; ++i) {
-    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  // Pad directly in the block buffer: 0x80, zeros to byte 56, then the
+  // big-endian bit length — at most one extra compression.
+  buffer_[buffered_++] = 0x80;
+  if (buffered_ > 56) {
+    std::memset(buffer_ + buffered_, 0, kBlockSize - buffered_);
+    process_block(buffer_);
+    buffered_ = 0;
   }
-  update(std::span(len_be, 8));
+  std::memset(buffer_ + buffered_, 0, 56 - buffered_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  process_block(buffer_);
 
-  std::array<std::uint8_t, kDigestSize> out{};
-  for (int i = 0; i < 5; ++i) {
-    out[static_cast<std::size_t>(i) * 4 + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[static_cast<std::size_t>(i) * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[static_cast<std::size_t>(i) * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[static_cast<std::size_t>(i) * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(state_[i / 4] >> (24 - 8 * (i % 4)));
   }
   reset();
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::finish() {
+  std::array<std::uint8_t, kDigestSize> out{};
+  finish_into(out);
   return out;
 }
 
 void Sha1::process_block(const std::uint8_t block[kBlockSize]) {
+  // Word-at-a-time loads: one 4-byte load + bswap per message word instead
+  // of four byte loads and three shifts.
   std::uint32_t w[80];
-  for (int t = 0; t < 16; ++t) {
-    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
-           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
-           static_cast<std::uint32_t>(block[t * 4 + 3]);
-  }
+  for (int t = 0; t < 16; ++t) w[t] = load_be32(block + t * 4);
   for (int t = 16; t < 80; ++t) {
     w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
   }
@@ -106,21 +127,81 @@ void Sha1::process_block(const std::uint8_t block[kBlockSize]) {
   state_[4] += e;
 }
 
-HmacSha1::HmacSha1(std::span<const std::uint8_t> key) {
-  std::array<std::uint8_t, Sha1::kBlockSize> norm_key{};
+namespace {
+
+/// RFC 2104 key normalisation: hash long keys, zero-pad to the block size.
+std::array<std::uint8_t, Sha1::kBlockSize> normalize_key(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, Sha1::kBlockSize> norm{};
   if (key.size() > Sha1::kBlockSize) {
     const auto digest = Sha1::digest(key);
-    std::memcpy(norm_key.data(), digest.data(), digest.size());
+    std::memcpy(norm.data(), digest.data(), digest.size());
   } else {
-    std::memcpy(norm_key.data(), key.data(), key.size());
+    std::memcpy(norm.data(), key.data(), key.size());
   }
+  return norm;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HmacSha1 (midstate)
+// ---------------------------------------------------------------------------
+
+HmacSha1::HmacSha1(std::span<const std::uint8_t> key) {
+  const auto norm_key = normalize_key(key);
+  std::array<std::uint8_t, Sha1::kBlockSize> pad{};
+  Sha1 h;
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) pad[i] = norm_key[i] ^ 0x36;
+  h.update(pad);
+  inner_mid_ = h.state();
+  h.reset();
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) pad[i] = norm_key[i] ^ 0x5c;
+  h.update(pad);
+  outer_mid_ = h.state();
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> HmacSha1::compute(
+    std::span<const std::uint8_t> data) const {
+  Sha1 h;
+  h.reset_from(inner_mid_, Sha1::kBlockSize);
+  h.update(data);
+  const auto inner_digest = h.finish();
+  h.reset_from(outer_mid_, Sha1::kBlockSize);
+  h.update(inner_digest);
+  return h.finish();
+}
+
+void HmacSha1::compute96(std::span<const std::uint8_t> data,
+                         std::span<std::uint8_t, 12> out) const {
+  Sha1 h;
+  h.reset_from(inner_mid_, Sha1::kBlockSize);
+  h.update(data);
+  std::array<std::uint8_t, Sha1::kDigestSize> inner_digest;
+  h.finish_into(inner_digest);
+  h.reset_from(outer_mid_, Sha1::kBlockSize);
+  h.update(inner_digest);
+  h.finish_into(out);
+}
+
+std::array<std::uint8_t, 12> HmacSha1::compute96(std::span<const std::uint8_t> data) const {
+  std::array<std::uint8_t, 12> out{};
+  compute96(data, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ScalarHmacSha1 (the original pad-rehashing implementation, kept as oracle)
+// ---------------------------------------------------------------------------
+
+ScalarHmacSha1::ScalarHmacSha1(std::span<const std::uint8_t> key) {
+  const auto norm_key = normalize_key(key);
   for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
     ipad_key_[i] = norm_key[i] ^ 0x36;
     opad_key_[i] = norm_key[i] ^ 0x5c;
   }
 }
 
-std::array<std::uint8_t, Sha1::kDigestSize> HmacSha1::compute(
+std::array<std::uint8_t, Sha1::kDigestSize> ScalarHmacSha1::compute(
     std::span<const std::uint8_t> data) const {
   Sha1 inner;
   inner.update(ipad_key_);
@@ -132,11 +213,17 @@ std::array<std::uint8_t, Sha1::kDigestSize> HmacSha1::compute(
   return outer.finish();
 }
 
-std::array<std::uint8_t, 12> HmacSha1::compute96(std::span<const std::uint8_t> data) const {
+std::array<std::uint8_t, 12> ScalarHmacSha1::compute96(std::span<const std::uint8_t> data) const {
   const auto full = compute(data);
   std::array<std::uint8_t, 12> out{};
   std::memcpy(out.data(), full.data(), out.size());
   return out;
+}
+
+void ScalarHmacSha1::compute96(std::span<const std::uint8_t> data,
+                               std::span<std::uint8_t, 12> out) const {
+  const auto tag = compute96(data);
+  std::memcpy(out.data(), tag.data(), tag.size());
 }
 
 }  // namespace metro::crypto

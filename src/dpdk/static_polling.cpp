@@ -24,6 +24,9 @@ sim::Task static_lcore_task(Sim& sim, nic::BasicPort<Sim>& port, int queue,
     if (n > 0) {
       // Process the burst; wall time depends on CPU share and frequency.
       co_await core.run_for(ent, static_cast<sim::Time>(n) * cfg.per_packet_cost);
+      if (cfg.packet_work) {
+        for (int i = 0; i < n; ++i) cfg.packet_work(burst[static_cast<std::size_t>(i)]);
+      }
       for (int i = 0; i < n; ++i) tx.send(burst[static_cast<std::size_t>(i)]);
       stats.packets_processed += static_cast<std::uint64_t>(n);
       if (tx.pending() == 0) last_tx_flush = sim.now();

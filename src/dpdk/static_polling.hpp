@@ -28,6 +28,10 @@ struct StaticPollingConfig {
   int burst = sim::calib::kBurstSize;
   sim::Time tx_drain_interval = 100 * sim::kMicrosecond;  // BURST_TX_DRAIN_US
   int nice = 0;
+  // Optional real per-packet work run after each burst's cost is charged
+  // (wall-clock only; simulated results are unaffected). See
+  // nic::PacketWork.
+  nic::PacketWork packet_work{};
 };
 
 /// Per-driver counters the experiment harness reads out.

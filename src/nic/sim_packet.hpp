@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "sim/time.hpp"
+#include "util/function_ref.hpp"
 
 namespace metro::nic {
 
@@ -21,5 +22,13 @@ struct PacketDesc {
   std::uint32_t flow_id = 0;  // generator-assigned flow identity
   std::uint16_t wire_size = 64;
 };
+
+// Optional per-packet work hook the drivers invoke for every drained
+// descriptor, AFTER charging the calibrated per-packet cost. The hook does
+// real wall-clock work (e.g. the fig16 --crypto=live mode runs the actual
+// ESP gateway here) but never touches simulated time or telemetry, so
+// simulation results stay bit-identical whether or not it is set. Non-
+// owning: the callable must outlive the driver.
+using PacketWork = util::FunctionRef<void(const PacketDesc&)>;
 
 }  // namespace metro::nic

@@ -95,7 +95,11 @@ inline constexpr Time kDispatchTailMax = 100_us;
 // rho ~= 0.6+ under 64 B line-rate traffic.
 inline constexpr Time kL3fwdPerPacketCost = 38_ns;
 /// IPsec gateway (ESP encap, AES-CBC offloaded to the NIC, software
-/// encap/decap): the paper's static app tops out at 5.61 Mpps.
+/// encap/decap): the paper's static app tops out at 5.61 Mpps. This is the
+/// cost the timing path charges in the default `--crypto=calibrated` bench
+/// mode; `--crypto=live` (fig16 / kernel bench) additionally executes the
+/// real software gateway per packet via nic::PacketWork to measure the
+/// crypto substrate without perturbing simulated results.
 inline constexpr Time kIpsecPerPacketCost = 178_ns;
 /// FloWatcher run-to-completion (per-packet + per-flow statistics).
 inline constexpr Time kFlowatcherPerPacketCost = 55_ns;

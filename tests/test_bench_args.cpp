@@ -131,10 +131,21 @@ TEST(BenchArgsTest, DeadlineMustBePositiveSeconds) {
   EXPECT_FALSE(parse({"--deadline="}).ok);
 }
 
+TEST(BenchArgsTest, CryptoModeValidated) {
+  EXPECT_EQ(parse({}).args.crypto, CryptoMode::kCalibrated) << "calibrated is the default";
+  EXPECT_EQ(parse({"--crypto=calibrated"}).args.crypto, CryptoMode::kCalibrated);
+  EXPECT_EQ(parse({"--crypto=live"}).args.crypto, CryptoMode::kLive);
+  const auto p = parse({"--crypto=lvie"});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("lvie"), std::string::npos);
+  EXPECT_NE(p.error.find("live"), std::string::npos) << "error lists the valid spellings";
+  EXPECT_FALSE(parse({"--crypto="}).ok);
+}
+
 TEST(BenchArgsTest, UsageTextMentionsEveryFlag) {
   const std::string usage = usage_text();
   for (const char* flag : {"--fast", "--backend", "--jobs", "--trace", "--list", "--only",
-                           "--deadline"}) {
+                           "--deadline", "--crypto"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

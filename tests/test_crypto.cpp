@@ -192,5 +192,160 @@ TEST(HmacSha1Test, Truncated96IsPrefix) {
   EXPECT_EQ(std::memcmp(full.data(), t96.data(), 12), 0);
 }
 
+// Remaining RFC 2202 cases (3, 4, 5, 7), run against both the midstate
+// implementation and the scalar oracle so the two can never drift apart on
+// a published vector.
+void check_rfc2202(const std::vector<std::uint8_t>& key, const std::vector<std::uint8_t>& msg,
+                   const char* digest_hex) {
+  const auto expect = hexv(digest_hex);
+  HmacSha1 fast(key);
+  ScalarHmacSha1 scalar(key);
+  EXPECT_EQ(std::memcmp(fast.compute(msg).data(), expect.data(), 20), 0);
+  EXPECT_EQ(std::memcmp(scalar.compute(msg).data(), expect.data(), 20), 0);
+}
+
+std::vector<std::uint8_t> str_bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(HmacSha1Test, Rfc2202Case3) {
+  check_rfc2202(std::vector<std::uint8_t>(20, 0xaa), std::vector<std::uint8_t>(50, 0xdd),
+                "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1Test, Rfc2202Case4) {
+  check_rfc2202(hexv("0102030405060708090a0b0c0d0e0f10111213141516171819"),
+                std::vector<std::uint8_t>(50, 0xcd), "4c9007f4026250c6bc8414f9bf50c86c2d7235da");
+}
+
+TEST(HmacSha1Test, Rfc2202Case5AndTruncation) {
+  const std::vector<std::uint8_t> key(20, 0x0c);
+  const auto msg = str_bytes("Test With Truncation");
+  check_rfc2202(key, msg, "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04");
+  // HMAC-SHA1-96 of case 5 is the RFC's truncation example.
+  HmacSha1 fast(key);
+  ScalarHmacSha1 scalar(key);
+  const auto expect96 = hexv("4c1a03424b55e07fe7f27be1");
+  EXPECT_EQ(std::memcmp(fast.compute96(msg).data(), expect96.data(), 12), 0);
+  EXPECT_EQ(std::memcmp(scalar.compute96(msg).data(), expect96.data(), 12), 0);
+}
+
+TEST(HmacSha1Test, Rfc2202Case7) {
+  check_rfc2202(std::vector<std::uint8_t>(80, 0xaa),
+                str_bytes("Test Using Larger Than Block-Size Key and Larger "
+                          "Than One Block-Size Data"),
+                "e8e99d0f45237d786d6bbaa7965c7808bbff1a91");
+}
+
+// --- implementation matrix: every enabled AES path against the vectors ---
+
+/// Every Aes128 implementation that can run on this machine, plus kAuto.
+std::vector<Aes128::Impl> enabled_impls() {
+  std::vector<Aes128::Impl> impls = {Aes128::Impl::kAuto, Aes128::Impl::kTables};
+  if (Aes128::hardware_available()) impls.push_back(Aes128::Impl::kHardware);
+  return impls;
+}
+
+TEST(AesTest, Fips197AppendixCAllImplementations) {
+  const auto key = hex16("000102030405060708090a0b0c0d0e0f");
+  const auto pt = hex16("00112233445566778899aabbccddeeff");
+  const auto expect = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+  for (const auto impl : enabled_impls()) {
+    Aes128 aes{std::span<const std::uint8_t, 16>(key), impl};
+    std::uint8_t ct[16], back[16];
+    aes.encrypt_block(pt.data(), ct);
+    EXPECT_EQ(std::memcmp(ct, expect.data(), 16), 0);
+    aes.decrypt_block(ct, back);
+    EXPECT_EQ(std::memcmp(back, pt.data(), 16), 0);
+  }
+}
+
+TEST(AesCbcTest, NistSp80038aFullFourBlocksAllImplementations) {
+  // SP 800-38A F.2.1 (encrypt) / F.2.2 (decrypt), all four blocks.
+  const auto key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv = hex16("000102030405060708090a0b0c0d0e0f");
+  const auto pt = hexv(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const auto expect = hexv(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2"
+      "73bed6b8e3c1743b7116e69e22229516"
+      "3ff1caa1681fac09120eca307586e1a7");
+  const auto check = [&](const auto& cbc) {
+    std::vector<std::uint8_t> ct(pt.size()), back(pt.size());
+    cbc.encrypt(pt, std::span<const std::uint8_t, 16>(iv), ct);
+    EXPECT_EQ(ct, expect);
+    cbc.decrypt(ct, std::span<const std::uint8_t, 16>(iv), back);
+    EXPECT_EQ(back, pt);
+  };
+  for (const auto impl : enabled_impls()) {
+    check(AesCbc{std::span<const std::uint8_t, 16>(key), impl});
+  }
+  check(ScalarAesCbc{std::span<const std::uint8_t, 16>(key)});
+}
+
+// --- differential fuzz: fast implementations vs the scalar oracle -------
+
+TEST(AesFuzzTest, BlockMatchesScalarAllImplementations) {
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::uint8_t, 16> key{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+    const ScalarAes128 oracle{std::span<const std::uint8_t, 16>(key)};
+    for (const auto impl : enabled_impls()) {
+      const Aes128 fast{std::span<const std::uint8_t, 16>(key), impl};
+      std::uint8_t pt[16], ct_fast[16], ct_oracle[16], back[16];
+      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_u64());
+      fast.encrypt_block(pt, ct_fast);
+      oracle.encrypt_block(pt, ct_oracle);
+      ASSERT_EQ(std::memcmp(ct_fast, ct_oracle, 16), 0);
+      fast.decrypt_block(ct_fast, back);
+      ASSERT_EQ(std::memcmp(back, pt, 16), 0);
+    }
+  }
+}
+
+TEST(AesFuzzTest, CbcMatchesScalarRandomLengths) {
+  sim::Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::array<std::uint8_t, 16> key{}, iv{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+    for (auto& b : iv) b = static_cast<std::uint8_t>(rng.next_u64());
+    const std::size_t n_blocks = 1 + rng.uniform_u64(128);
+    std::vector<std::uint8_t> pt(16 * n_blocks);
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_u64());
+    const ScalarAesCbc oracle{std::span<const std::uint8_t, 16>(key)};
+    std::vector<std::uint8_t> ct_oracle(pt.size()), pt_oracle(pt.size());
+    oracle.encrypt(pt, std::span<const std::uint8_t, 16>(iv), ct_oracle);
+    oracle.decrypt(ct_oracle, std::span<const std::uint8_t, 16>(iv), pt_oracle);
+    ASSERT_EQ(pt_oracle, pt);
+    for (const auto impl : enabled_impls()) {
+      const AesCbc fast{std::span<const std::uint8_t, 16>(key), impl};
+      std::vector<std::uint8_t> ct(pt.size()), back(pt.size());
+      fast.encrypt(pt, std::span<const std::uint8_t, 16>(iv), ct);
+      ASSERT_EQ(ct, ct_oracle);
+      fast.decrypt(ct, std::span<const std::uint8_t, 16>(iv), back);
+      ASSERT_EQ(back, pt);
+    }
+  }
+}
+
+TEST(HmacFuzzTest, MidstateMatchesScalarRandomKeysAndLengths) {
+  sim::Rng rng(13);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<std::uint8_t> key(1 + rng.uniform_u64(99));
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+    std::vector<std::uint8_t> msg(rng.uniform_u64(301));
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u64());
+    const HmacSha1 fast(key);
+    const ScalarHmacSha1 oracle(key);
+    ASSERT_EQ(fast.compute(msg), oracle.compute(msg));
+    ASSERT_EQ(fast.compute96(msg), oracle.compute96(msg));
+  }
+}
+
 }  // namespace
 }  // namespace metro::crypto
