@@ -33,6 +33,17 @@
 //   --deadline=SECONDS    per-shard wall-clock deadline; a shard that
 //                         exceeds it fails (and is reported) instead of
 //                         wedging the sweep.
+//   --series=INTERVAL_US  sample the full telemetry set every INTERVAL_US
+//                         of sim time during measurement; sweep benches
+//                         emit the per-window tracks as a `timeseries`
+//                         block per shard (schema in docs/BENCHMARKS.md),
+//                         fig9 prints a per-window table. Pure observer:
+//                         results and fingerprints are unchanged.
+//   --trace-out=<file>    write a Chrome trace-event JSON (chrome://tracing
+//                         / Perfetto) of the run: kernel fire/cascade
+//                         instants, NIC burst/flush instants, Metronome
+//                         sleep and drain spans, fault instants, and (for
+//                         sweeps) per-worker wall-clock shard spans.
 //   --crypto=calibrated|live
 //                         fig16 ipsec: calibrated charges the fitted
 //                         per-packet cost only; live also executes the
@@ -48,6 +59,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -57,6 +69,7 @@
 #include "apps/experiment.hpp"
 #include "scenario/sweep.hpp"
 #include "stats/table.hpp"
+#include "stats/trace.hpp"
 
 namespace metro::bench {
 
@@ -113,6 +126,8 @@ struct Args {
   std::vector<std::string> only;  ///< scenario filter; empty = all (scenario_matrix)
   double deadline_s = 0.0;        ///< per-shard wall-clock deadline; 0 = off
   CryptoMode crypto = CryptoMode::kCalibrated;  ///< fig16 ipsec crypto mode
+  double series_us = 0.0;   ///< telemetry sampling interval in us; 0 = off
+  std::string trace_out;    ///< Chrome trace output path; empty = no tracing
 };
 
 inline const char* usage_text() {
@@ -124,6 +139,8 @@ inline const char* usage_text() {
          "  --list               print registered scenario names and exit\n"
          "  --only=a,b,c         restrict the sweep to the named scenarios\n"
          "  --deadline=SECONDS   per-shard wall-clock deadline (> 0)\n"
+         "  --series=INTERVAL_US sample telemetry every INTERVAL_US of sim time\n"
+         "  --trace-out=<file>   write a Chrome trace-event JSON of the run\n"
          "  --crypto=calibrated|live\n"
          "                       fig16 ipsec: charge the calibrated cost only, or\n"
          "                       also run the real ESP gateway per packet\n";
@@ -202,6 +219,21 @@ inline bool try_parse_args(int argc, char** argv, BackendChoice def_backend, int
         return false;
       }
       out.deadline_s = s;
+    } else if (arg.rfind("--series=", 0) == 0) {
+      const std::string v = arg.substr(9);
+      char* end = nullptr;
+      const double us = std::strtod(v.c_str(), &end);
+      if (v.empty() || *end != '\0' || !(us > 0.0)) {
+        error = "bad --series value '" + v + "' (want microseconds > 0)";
+        return false;
+      }
+      out.series_us = us;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      out.trace_out = arg.substr(12);
+      if (out.trace_out.empty()) {
+        error = "--trace-out needs a file path (--trace-out=<file>)";
+        return false;
+      }
     } else if (arg.rfind("--crypto=", 0) == 0) {
       const std::string v = arg.substr(9);
       if (v == "calibrated") {
@@ -254,6 +286,55 @@ inline bool parse_fast(int argc, char** argv) {
     std::exit(2);
   }
   return fast;
+}
+
+/// Write Chrome trace-event JSON for the given lanes to `path`, failing
+/// loudly (message + exit 1) when the file cannot be created or written —
+/// a silently-missing trace from an overnight run is the same footgun as
+/// a silently-defaulted flag. Prints a one-line summary (events, drops).
+inline void write_trace_file(const std::string& path,
+                             const std::vector<trace::TraceProcess>& lanes) {
+  std::size_t events = 0;
+  std::uint64_t drops = 0;
+  for (const auto& lane : lanes) {
+    events += lane.tracer->size();
+    drops += lane.tracer->dropped();
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot open --trace-out file '" << path << "' for writing\n";
+    std::exit(1);
+  }
+  trace::write_chrome_trace(out, lanes);
+  out.flush();
+  if (!out) {
+    std::cerr << "failed writing --trace-out file '" << path << "'\n";
+    std::exit(1);
+  }
+  std::cout << "trace: " << events << " events in " << lanes.size() << " lane(s) -> " << path;
+  if (drops > 0) std::cout << " (" << drops << " dropped at capacity)";
+  std::cout << "\n";
+}
+
+/// The --trace-out export path of the sweep benches: one process lane per
+/// traced shard plus one wall-clock lane per sweep worker.
+inline void write_sweep_trace(const std::string& path,
+                              const std::vector<scenario::Shard>& shards,
+                              const std::vector<scenario::ShardResult>& results,
+                              const scenario::SweepRunner& runner) {
+  std::vector<trace::TraceProcess> lanes;
+  for (std::size_t i = 0; i < shards.size() && i < results.size(); ++i) {
+    if (results[i].trace == nullptr) continue;
+    lanes.push_back(trace::TraceProcess{"shard " + std::to_string(i) + ": " +
+                                            shards[i].scenario + "/" +
+                                            scenario::backend_name(shards[i].backend),
+                                        results[i].trace.get()});
+  }
+  for (std::size_t w = 0; w < runner.wall_tracers().size(); ++w) {
+    lanes.push_back(trace::TraceProcess{"sweep worker " + std::to_string(w) + " (wall)",
+                                        runner.wall_tracers()[w].get()});
+  }
+  write_trace_file(path, lanes);
 }
 
 inline void header(const std::string& title, const std::string& paper_expectation) {

@@ -77,6 +77,8 @@ int main(int argc, char** argv) {
                 "CPU and power gains. ondemand trades extra CPU time for power");
 
   // Expand the whole matrix up front; shard order is the print order.
+  const sim::Time series_interval =
+      args.series_us > 0.0 ? sim::from_micros(args.series_us) : 0;
   std::vector<Shard> shards;
   for (const BackendKind backend : backends) {
     for (const auto governor : {sim::Governor::kPerformance, sim::Governor::kOndemand}) {
@@ -84,18 +86,28 @@ int main(int argc, char** argv) {
           governor == sim::Governor::kPerformance ? "performance" : "ondemand";
       for (const int queues : {2, 3, 4}) {
         const std::string base = std::string(gov_name) + "/" + std::to_string(queues) + "q";
-        shards.push_back(
-            Shard{"static/" + base, backend, static_ref_config(governor, queues, w)});
+        Shard ref{"static/" + base, backend, static_ref_config(governor, queues, w)};
+        ref.config.series_interval = series_interval;
+        shards.push_back(std::move(ref));
         for (int m = queues; m <= kMaxCores; ++m) {
-          shards.push_back(Shard{"metronome/" + base + "/m" + std::to_string(m), backend,
-                                 metronome_config(governor, queues, m, w)});
+          Shard met{"metronome/" + base + "/m" + std::to_string(m), backend,
+                    metronome_config(governor, queues, m, w)};
+          met.config.series_interval = series_interval;
+          shards.push_back(std::move(met));
         }
       }
     }
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = scenario::SweepRunner(args.jobs).run(shards);
+  scenario::SweepRunner runner(args.jobs);
+  // Sweep traces trade depth for breadth: with >100 shards each exporting
+  // a lane, a small per-shard ring keeps the Chrome JSON loadable and the
+  // post-run export off the wall-time budget (capped events drop at
+  // capacity, counted per lane). Single-lane benches (fig9) keep a deep
+  // ring instead.
+  if (!args.trace_out.empty()) runner.set_tracing(1u << 10);
+  const auto results = runner.run(shards);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -168,5 +180,6 @@ int main(int argc, char** argv) {
               << " configurations produced identical telemetry fingerprints on "
               << backends.size() << " backends\n";
   }
+  if (!args.trace_out.empty()) bench::write_sweep_trace(args.trace_out, shards, results, runner);
   return 0;
 }

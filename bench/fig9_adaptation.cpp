@@ -6,14 +6,24 @@
 // microsecond scale, so a 12 s ramp with 0.4 s steps exercises exactly the
 // same adaptation path) and sample, every profile step: the true offered
 // rate, Metronome's estimated rate (rho-hat * mu), TS, rho and CPU usage.
+//
+// --series=INTERVAL_US additionally arms a stats::SeriesRecorder on the
+// testbed and prints a per-window telemetry table (rx/tx rate, drops,
+// mean latency, wake-ups, window fingerprint) after the adaptation table;
+// --trace-out=<file> records the run's kernel/NIC/Metronome trace events
+// and writes them as Chrome trace-event JSON.
+#include <memory>
+
 #include "apps/experiment.hpp"
 #include "common.hpp"
+#include "stats/time_series.hpp"
 #include "tgen/feeder.hpp"
 
 using namespace metro;
 
 int main(int argc, char** argv) {
-  const bool fast = bench::parse_fast(argc, argv);
+  const auto args = bench::parse_args(argc, argv, bench::BackendChoice::kHeap, 1);
+  const bool fast = args.fast;
   const sim::Time total = fast ? 6 * sim::kSecond : 12 * sim::kSecond;
   const sim::Time step = total / 30;  // 30 rate steps, as in a 60 s / 2 s ramp
 
@@ -28,12 +38,30 @@ int main(int argc, char** argv) {
   cfg.measure = total;
 
   apps::Testbed bed(cfg);
+  std::unique_ptr<trace::Tracer> tracer;
+  if (!args.trace_out.empty()) {
+    tracer = std::make_unique<trace::Tracer>(1u << 15);
+    bed.set_tracer(tracer.get());
+  }
   tgen::FlowSet flows(256, 7);
   tgen::RampProfile ramp(0.5e6, 14e6, step, total);
   tgen::ProfileGenerator gen(ramp, total, 64, flows,
                              std::make_unique<tgen::UniformFlowPicker>(256));
   bed.start();
   tgen::attach(bed.sim(), bed.port(), gen);
+
+  // This bench drives the testbed by hand (no begin_measurement), so the
+  // series recorder is armed directly; start() must have registered the
+  // telemetry tree first so the snapshots carry every layer.
+  std::unique_ptr<stats::SeriesRecorder> series;
+  if (args.series_us > 0.0) {
+    stats::SeriesConfig scfg;
+    scfg.interval = sim::from_micros(args.series_us);
+    const sim::Time want = total / scfg.interval + 2;
+    scfg.capacity = static_cast<std::size_t>(want < 2 ? 2 : (want > 512 ? 512 : want));
+    series = std::make_unique<stats::SeriesRecorder>(bed.telemetry(), scfg);
+    series->arm(bed.sim());
+  }
 
   const double mu_pps = 1e9 / static_cast<double>(sim::calib::kL3fwdPerPacketCost);
 
@@ -55,5 +83,47 @@ int main(int argc, char** argv) {
                    bench::num(rho, 3), bench::num(cpu, 1)});
   }
   table.print();
+
+  if (series) {
+    series->finish(bed.sim().now());
+    std::cout << "\nper-window telemetry series, interval " << bench::num(args.series_us, 1)
+              << " us (" << series->size() << " windows";
+    if (series->dropped() > 0) std::cout << ", " << series->dropped() << " dropped at capacity";
+    std::cout << "):\n";
+    stats::Table st({"t_end (s)", "rx (Mpps)", "tx (Mpps)", "dropped", "lat mean (us)",
+                     "wakeups", "fingerprint"});
+    sim::Time prev_end = 0;
+    for (std::size_t i = 0; i < series->size(); ++i) {
+      const stats::SeriesRecorder::Window& win = series->window(i);
+      const double dt_s = sim::to_seconds(win.t_end - prev_end);
+      prev_end = win.t_end;
+      const auto rx = win.delta.counter("port.rx");
+      const auto tx = win.delta.counter("port.tx.transmitted");
+      std::uint64_t drops = win.delta.counter("port.cap_drops");
+      for (int q = 0; q < bed.port().n_rx_queues(); ++q) {
+        drops += win.delta.counter("port.q" + std::to_string(q) + ".dropped");
+      }
+      const stats::Histogram& lat = win.delta.histogram("latency_us");
+      std::uint64_t wakeups = 0;
+      for (int q = 0;; ++q) {
+        const auto* e = win.delta.find("met.q" + std::to_string(q) + ".total_tries");
+        if (e == nullptr) break;
+        wakeups += e->counter;
+      }
+      st.add_row({bench::num(sim::to_seconds(win.t_end), 3),
+                  bench::num(dt_s > 0.0 ? static_cast<double>(rx) / dt_s / 1e6 : 0.0, 2),
+                  bench::num(dt_s > 0.0 ? static_cast<double>(tx) / dt_s / 1e6 : 0.0, 2),
+                  std::to_string(drops),
+                  bench::num(lat.count() > 0
+                                 ? lat.summary().sum() / static_cast<double>(lat.count())
+                                 : 0.0, 2),
+                  std::to_string(wakeups), std::to_string(win.fingerprint)});
+    }
+    st.print();
+  }
+
+  if (tracer) {
+    bench::write_trace_file(args.trace_out, {trace::TraceProcess{"fig9 testbed", tracer.get()}});
+  }
   return 0;
 }

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
     }
   }
   matrix.backends = bench::backend_kinds(args.backend);
+  if (args.series_us > 0.0) matrix.series_interval = sim::from_micros(args.series_us);
   if (args.fast) {
     // Identity holds for any window; short ones keep the CI step cheap.
     matrix.warmup = 10 * sim::kMillisecond;
@@ -95,6 +96,9 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   scenario::SweepRunner runner(args.jobs);
   runner.set_shard_deadline(args.deadline_s);
+  // Breadth over depth: one small ring per shard keeps the merged Chrome
+  // export loadable and cheap across the whole matrix (drops are counted).
+  if (!args.trace_out.empty()) runner.set_tracing(1u << 10);
   // The hardened runner captures per-shard exceptions into the results
   // (ShardResult::failed/error) — a shard that cannot even be assembled
   // (e.g. an unreadable --trace file) is reported and counted below
@@ -167,7 +171,8 @@ int main(int argc, char** argv) {
   if (args.jobs > 1) {
     // Same runner configuration, one worker: failure capture included —
     // a deterministic failure must produce the identical `failures`
-    // section on any worker count.
+    // section on any worker count. Deliberately untraced: the identity
+    // gate below also proves tracing itself never perturbs results.
     scenario::SweepRunner serial_runner(1);
     serial_runner.set_shard_deadline(args.deadline_s);
     const std::vector<scenario::ShardResult> serial = serial_runner.run(shards);
@@ -183,8 +188,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ofstream("BENCH_scenarios.json") << scenario::report_json(shards, results, true);
+  std::ofstream("BENCH_scenarios.json") << scenario::report_json(shards, results, true, &runner);
   std::cout << "wrote BENCH_scenarios.json\n";
+  if (!args.trace_out.empty()) bench::write_sweep_trace(args.trace_out, shards, results, runner);
   if (diverged || nondeterministic || n_failed > 0) {
     std::cerr << "\nFAIL:";
     if (diverged) std::cerr << " cross-backend divergence";

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Link check for the repo's markdown docs.
 
-Verifies that every relative link in README.md and docs/*.md points at an
-existing file (and, for in-repo markdown targets, that a referenced
-#anchor matches a heading in the target file). External http(s) links are
-not fetched — CI must stay hermetic — only their syntax is accepted.
+Verifies that every relative link in the root *.md files and docs/*.md
+points at an existing file (and, for in-repo markdown targets, that a
+referenced #anchor matches a heading in the target file). External
+http(s) links are not fetched — CI must stay hermetic — only their
+syntax is accepted. SNIPPETS.md is exempt: it quotes third-party code
+and prose whose links are not ours to keep alive.
 
 Exit code 0 when every link resolves, 1 otherwise (used by the CI docs
 job).
@@ -66,9 +68,12 @@ def check_file(md_file: Path, repo_root: Path) -> list[str]:
 
 def main() -> int:
     repo_root = Path(__file__).resolve().parent.parent
-    files = [repo_root / "README.md"] + sorted((repo_root / "docs").glob("*.md"))
+    root_md = sorted(p for p in repo_root.glob("*.md") if p.name != "SNIPPETS.md")
+    files = root_md + sorted((repo_root / "docs").glob("*.md"))
     errors: list[str] = []
     checked = 0
+    if repo_root / "README.md" not in root_md:
+        errors.append(f"missing expected file: {repo_root / 'README.md'}")
     for md_file in files:
         if not md_file.exists():
             errors.append(f"missing expected file: {md_file}")

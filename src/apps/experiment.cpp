@@ -241,10 +241,24 @@ void BasicTestbed<Sim>::begin_measurement() {
   // baseline into the snapshot, distributions (latency histogram, per-
   // queue vacation/busy summaries) reset to collect this window only.
   window_baseline_ = metrics_.window_start();
+
+  if (cfg_.series_interval > 0) {
+    // Ring sized for the whole window (+1 partial tail, +1 slack). Each
+    // slot holds a full MetricSnapshot — the latency histogram dominates
+    // at ~800 KB — so the capacity is clamped; beyond it sample() counts
+    // dropped windows instead of allocating.
+    stats::SeriesConfig scfg;
+    scfg.interval = cfg_.series_interval;
+    const sim::Time want = cfg_.measure / cfg_.series_interval + 2;
+    scfg.capacity = static_cast<std::size_t>(want < 2 ? 2 : (want > 512 ? 512 : want));
+    series_ = std::make_unique<stats::SeriesRecorder>(metrics_, scfg);
+    series_->arm(*sim_);
+  }
 }
 
 template <typename Sim>
 ExperimentResult BasicTestbed<Sim>::finish_measurement() {
+  if (series_) series_->finish(sim_->now());
   ExperimentResult r;
   const auto machine_end = machine_->snapshot_all();
   const Time window = sim_->now() - window_start_;
@@ -271,6 +285,9 @@ ExperimentResult BasicTestbed<Sim>::finish_measurement() {
     drops += d.counter("port.q" + std::to_string(q) + ".dropped");
   }
   const std::uint64_t tx = d.counter("port.tx.transmitted");
+  r.rx_packets = rx;
+  r.tx_packets = tx;
+  r.dropped_packets = drops;
   r.offered_mpps = cfg_.workload.rate_mpps;
   r.throughput_mpps = static_cast<double>(tx) / window_s / 1e6;
   r.loss_permille = rx > 0 ? 1000.0 * static_cast<double>(drops) / static_cast<double>(rx) : 0.0;

@@ -32,6 +32,8 @@
 #include "stats/histogram.hpp"
 #include "stats/metric_set.hpp"
 #include "stats/summary.hpp"
+#include "stats/time_series.hpp"
+#include "stats/trace.hpp"
 #include "tgen/bursty.hpp"
 #include "tgen/feeder.hpp"
 #include "tgen/generator.hpp"
@@ -133,6 +135,14 @@ struct ExperimentConfig {
 
   sim::Time warmup = 200 * sim::kMillisecond;
   sim::Time measure = sim::kSecond;
+
+  /// > 0: sample the full telemetry set every `series_interval` of sim
+  /// time during the measurement window (stats::SeriesRecorder armed by
+  /// begin_measurement(), closed by finish_measurement()). 0 = off.
+  /// Sampling only reads counters, so results and fingerprints are
+  /// identical either way.
+  sim::Time series_interval = 0;
+
   std::uint64_t seed = 1;
 };
 
@@ -144,6 +154,11 @@ struct ExperimentResult {
   double offered_mpps = 0.0;
   double throughput_mpps = 0.0;
   double loss_permille = 0.0;
+  /// Raw measurement-window packet totals (the counters behind the two
+  /// rates above). A shard's timeseries windows sum to exactly these.
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t dropped_packets = 0;
   /// Sum of the driver threads' on-CPU shares; 100 = one full core.
   double cpu_percent = 0.0;
   double package_watts = 0.0;
@@ -209,6 +224,19 @@ class BasicTestbed {
   double window_cpu_percent();  // since last call to this function
   std::uint64_t packets_processed() const;
 
+  /// Attach (or detach, with nullptr) a trace recorder. Fans out to the
+  /// kernel (event-fire + backend instants, which the NIC rings and the
+  /// Metronome read back through sim().tracer()) and to the fault plane.
+  /// Pure observer: execution and telemetry are identical either way.
+  void set_tracer(trace::Tracer* t) {
+    sim_->set_tracer(t);
+    if (fault_) fault_->set_tracer(t);
+  }
+
+  /// The measurement-window time series (nullptr unless
+  /// ExperimentConfig::series_interval > 0 and measurement has begun).
+  const stats::SeriesRecorder* series() const { return series_.get(); }
+
  private:
   using Core = sim::BasicCore<Sim>;
 
@@ -248,6 +276,7 @@ class BasicTestbed {
   // window is a MetricSet window, not per-counter *_at_start_ copies.
   stats::MetricSet metrics_;
   stats::MetricSnapshot window_baseline_;
+  std::unique_ptr<stats::SeriesRecorder> series_;  // armed by begin_measurement()
 
   // measurement window state (scheduler side)
   sim::Time window_start_ = 0;

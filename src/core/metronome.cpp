@@ -69,14 +69,20 @@ sim::Task BasicMetronome<Sim>::thread_task(int thread_id) {
     if (!q.lock.try_lock(thread_id)) {
       // Busy try: another thread is already unloading this queue.
       ++q.busy_tries;
+      const int tried = curr;  // the sleep is attributed to the queue whose timeout armed it
       if (cfg_.primary_backup) {
         if (cfg_.random_backup && n_queues > 1) {
           curr = static_cast<int>(sim_.rng().uniform_u64(static_cast<std::uint64_t>(n_queues)));
         }
+        const Time sleep_t0 = sim_.now();
         co_await sleeper.sleep(cfg_.long_timeout);
+        note_sleep(q, thread_id, tried, sleep_t0, cfg_.long_timeout);
       } else {
         // Equal-timeouts ablation: no backup role, sleep the short timer.
-        co_await sleeper.sleep(q.ts);
+        const Time armed = q.ts;
+        const Time sleep_t0 = sim_.now();
+        co_await sleeper.sleep(armed);
+        note_sleep(q, thread_id, tried, sleep_t0, armed);
       }
       continue;
     }
@@ -92,6 +98,7 @@ sim::Task BasicMetronome<Sim>::thread_task(int thread_id) {
     int n;
     while ((n = ring.pop_burst(burst.data(), cfg_.burst)) > 0) {
       drained += static_cast<std::uint64_t>(n);
+      q.burst_fill.add(static_cast<double>(n));
       co_await core.run_for(ent, static_cast<Time>(n) * cfg_.per_packet_cost);
       if (cfg_.packet_work) {
         for (int i = 0; i < n; ++i) cfg_.packet_work(burst[static_cast<std::size_t>(i)]);
@@ -101,10 +108,15 @@ sim::Task BasicMetronome<Sim>::thread_task(int thread_id) {
     }
     // The final poll that finds the queue empty ends the busy period.
     co_await core.run_for(ent, calib::kEmptyPollCost);
+    if (drained == 0) ++q.empty_polls;
 
     const Time release = sim_.now();
     q.last_release = release;
     q.lock.unlock(thread_id);
+    if (trace::Tracer* t = sim_.tracer(); t != nullptr) [[unlikely]] {
+      t->span(trace::id::kMetDrain, acquire, release - acquire, drained,
+              static_cast<std::uint32_t>(thread_id), static_cast<std::uint32_t>(curr));
+    }
 
     if (vacation >= 0) {
       const Time busy = release - acquire;
@@ -124,10 +136,26 @@ sim::Task BasicMetronome<Sim>::thread_task(int thread_id) {
     // deployment with M < N could leave queues permanently unvisited
     // (trylocks never fail there, so backup hopping never kicks in).
     const bool stay = cfg_.sticky_primary && drained > 0;
+    const int drained_queue = curr;
     if (!stay && n_queues > 1) {
       curr = static_cast<int>(sim_.rng().uniform_u64(static_cast<std::uint64_t>(n_queues)));
     }
-    co_await sleeper.sleep(q.ts);
+    const Time armed = q.ts;
+    const Time sleep_t0 = sim_.now();
+    co_await sleeper.sleep(armed);
+    note_sleep(q, thread_id, drained_queue, sleep_t0, armed);
+  }
+}
+
+template <typename Sim>
+void BasicMetronome<Sim>::note_sleep(QueueState& q, int thread_id, int queue, Time t0,
+                                     Time armed) {
+  const Time slept = sim_.now() - t0;
+  q.slept_ns += static_cast<std::uint64_t>(slept);
+  q.sleep_us.add(sim::to_micros(slept));
+  if (trace::Tracer* t = sim_.tracer(); t != nullptr) [[unlikely]] {
+    t->span(trace::id::kMetSleep, t0, slept, static_cast<std::uint64_t>(armed),
+            static_cast<std::uint32_t>(thread_id), static_cast<std::uint32_t>(queue));
   }
 }
 
@@ -181,9 +209,13 @@ void BasicMetronome<Sim>::register_metrics(stats::MetricSet& set, const std::str
     set.attach_counter(base + ".busy_tries", qs.busy_tries);
     set.attach_counter(base + ".lock_successes", qs.lock_successes);
     set.attach_counter(base + ".packets", qs.packets);
+    set.attach_counter(base + ".empty_polls", qs.empty_polls);
+    set.attach_counter(base + ".slept_ns", qs.slept_ns);
     set.attach_summary(base + ".vacation_us", qs.vacation_us);
     set.attach_summary(base + ".busy_us", qs.busy_us);
     set.attach_summary(base + ".nv", qs.nv);
+    set.attach_summary(base + ".sleep_us", qs.sleep_us);
+    set.attach_summary(base + ".burst_fill", qs.burst_fill);
   }
 }
 
@@ -194,9 +226,13 @@ void BasicMetronome<Sim>::reset_stats() {
     q->busy_tries = 0;
     q->lock_successes = 0;
     q->packets = 0;
+    q->empty_polls = 0;
+    q->slept_ns = 0;
     q->vacation_us.reset();
     q->busy_us.reset();
     q->nv.reset();
+    q->sleep_us.reset();
+    q->burst_fill.reset();
   }
 }
 

@@ -83,9 +83,13 @@ struct QueueState {
   std::uint64_t busy_tries = 0;  // failed trylocks
   std::uint64_t lock_successes = 0;
   std::uint64_t packets = 0;
+  std::uint64_t empty_polls = 0;  // busy periods that drained nothing
+  std::uint64_t slept_ns = 0;     // total sim time threads slept on this queue
   stats::Summary vacation_us;
   stats::Summary busy_us;
   stats::Summary nv;  // packets found queued at busy-period start
+  stats::Summary sleep_us;    // per-sleep duration distribution (actual, incl. overshoot)
+  stats::Summary burst_fill;  // packets per pop_burst (batch occupancy)
   /// Optional full vacation-period distribution (Fig. 4); caller-owned.
   stats::Histogram* vacation_hist = nullptr;
 
@@ -140,9 +144,10 @@ class BasicMetronome {
   void reset_stats();
 
   /// Attach every per-queue observable to `set`: `<prefix>.qN.total_tries`
-  /// / `.busy_tries` / `.lock_successes` / `.packets` counters and the
-  /// `.vacation_us` / `.busy_us` / `.nv` summaries. Setup only; the
-  /// thread loop keeps its plain increments.
+  /// / `.busy_tries` / `.lock_successes` / `.packets` / `.empty_polls` /
+  /// `.slept_ns` counters and the `.vacation_us` / `.busy_us` / `.nv` /
+  /// `.sleep_us` / `.burst_fill` summaries. Setup only; the thread loop
+  /// keeps its plain increments.
   void register_metrics(stats::MetricSet& set, const std::string& prefix);
 
   /// (core, entity) of every thread, for CPU-usage accounting.
@@ -155,6 +160,11 @@ class BasicMetronome {
  private:
   sim::Task thread_task(int thread_id);
   sim::Time compute_ts(const QueueState& q) const;
+
+  /// Account one completed sleep on `q` (duration metrics + optional
+  /// kMetSleep trace span). Called by the thread loop right after resume —
+  /// plain function, so no RAII span has to live across a co_await.
+  void note_sleep(QueueState& q, int thread_id, int queue, sim::Time t0, sim::Time armed);
 
   Sim& sim_;
   nic::BasicPort<Sim>& port_;

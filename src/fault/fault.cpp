@@ -33,6 +33,9 @@ bool FaultInjector::rx_stalled(sim::Time t) {
   if (window != last_stall_window_) {
     last_stall_window_ = window;
     counters_.stall_ns += static_cast<std::uint64_t>(spec_.stall_for);
+    if (tracer_ != nullptr) [[unlikely]] {
+      tracer_->instant(trace::id::kFaultStall, t, static_cast<std::uint64_t>(spec_.stall_for));
+    }
   }
   return true;
 }

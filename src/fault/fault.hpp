@@ -44,6 +44,7 @@
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "stats/metric_set.hpp"
+#include "stats/trace.hpp"
 #include "util/seed_mix.hpp"
 
 namespace metro::fault {
@@ -113,10 +114,16 @@ class FaultInjector {
   void ingress(nic::PacketDesc pkt, Deliver&& deliver) {
     if (link_down(pkt.arrival)) {
       ++counters_.dropped;
+      if (tracer_ != nullptr) [[unlikely]] {
+        tracer_->instant(trace::id::kFaultLinkDown, pkt.arrival, pkt.flow_id);
+      }
       return;
     }
     if (spec_.drop_prob > 0.0 && rng_.chance(spec_.drop_prob)) {
       ++counters_.dropped;
+      if (tracer_ != nullptr) [[unlikely]] {
+        tracer_->instant(trace::id::kFaultDrop, pkt.arrival, pkt.flow_id);
+      }
       return;
     }
     if (spec_.corrupt_prob > 0.0 && rng_.chance(spec_.corrupt_prob)) {
@@ -126,6 +133,9 @@ class FaultInjector {
     if (spec_.reorder_prob > 0.0 && !held_.has_value() && rng_.chance(spec_.reorder_prob)) {
       held_ = pkt;
       ++counters_.reordered;
+      if (tracer_ != nullptr) [[unlikely]] {
+        tracer_->instant(trace::id::kFaultReorder, pkt.arrival, pkt.flow_id);
+      }
       return;
     }
     deliver(static_cast<const nic::PacketDesc&>(pkt));
@@ -154,6 +164,11 @@ class FaultInjector {
   /// `.corrupted`, `.dup`, `.reordered`, `.link_down_ns`, `.stall_ns`.
   void register_metrics(stats::MetricSet& set, const std::string& prefix);
 
+  /// Attach (or detach, with nullptr) a trace recorder: drop / reorder /
+  /// link-down / stall decisions then emit instants. Read-only observer —
+  /// fault sequences and counters are identical with or without it.
+  void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
+
  private:
   bool link_down(sim::Time t);
   void corrupt(nic::PacketDesc& pkt);
@@ -161,6 +176,7 @@ class FaultInjector {
   FaultSpec spec_;
   sim::Rng rng_;
   FaultCounters counters_;
+  trace::Tracer* tracer_ = nullptr;  // borrowed; nullptr = no tracing
   std::optional<nic::PacketDesc> held_;
   std::int64_t last_down_window_ = -1;
   std::int64_t last_stall_window_ = -1;

@@ -77,6 +77,7 @@ int BasicPort<Sim>::rx_burst(const PacketDesc* pkts, int n) {
     // Faults are per packet, so a faulty burst is exactly n rx() calls —
     // the fault stream is consumed in arrival order either way.
     for (int i = 0; i < n; ++i) accepted += rx(pkts[i]) ? 1 : 0;
+    trace_burst(pkts, n, accepted);
     return accepted;
   }
   // One load of the cap/RETA state for the whole group; the per-packet
@@ -99,7 +100,18 @@ int BasicPort<Sim>::rx_burst(const PacketDesc* pkts, int n) {
       accepted += rx_[reta_.queue_for(pkt.rss_hash)]->push(pkt) ? 1 : 0;
     }
   }
+  trace_burst(pkts, n, accepted);
   return accepted;
+}
+
+template <typename Sim>
+void BasicPort<Sim>::trace_burst(const PacketDesc* pkts, int n, int accepted) {
+  if (trace::Tracer* t = sim_.tracer(); t != nullptr) [[unlikely]] {
+    // One instant per group (not per packet): the burst boundary is the
+    // interesting structure; arrival of the group's last packet stamps it.
+    t->instant(trace::id::kRxBurst, n > 0 ? pkts[n - 1].arrival : sim_.now(),
+               static_cast<std::uint64_t>(accepted), 0, static_cast<std::uint32_t>(n));
+  }
 }
 
 template <typename Sim>

@@ -83,6 +83,9 @@ class BasicPort {
   /// fault-plane wrapper around it.
   bool accept(const PacketDesc& pkt);
 
+  /// Record one kRxBurst instant when the kernel has a tracer attached.
+  void trace_burst(const PacketDesc* pkts, int n, int accepted);
+
   Sim& sim_;
   PortConfig cfg_;
   RssReta reta_;

@@ -155,6 +155,11 @@ class BasicTxRing {
   /// Force out whatever is pending (used by the Tx-drain ablation). The
   /// callback test is hoisted out of the per-packet loop.
   void flush() {
+    if (trace::Tracer* t = sim_.tracer(); t != nullptr) [[unlikely]] {
+      if (!pending_.empty()) {
+        t->instant(trace::id::kTxFlush, sim_.now(), pending_.size());
+      }
+    }
     transmitted_ += pending_.size();
     if (on_tx_) {
       const sim::Time now = sim_.now();

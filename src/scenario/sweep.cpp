@@ -25,9 +25,14 @@ const char* backend_name(BackendKind kind) noexcept {
 namespace {
 
 template <typename Sim>
-ShardResult run_shard_typed(const Shard& shard, double deadline_s) {
+ShardResult run_shard_typed(const Shard& shard, double deadline_s, std::size_t trace_capacity) {
   const auto t0 = std::chrono::steady_clock::now();
   apps::BasicTestbed<Sim> bed(shard.config);
+  std::shared_ptr<trace::Tracer> tracer;
+  if (trace_capacity > 0) {
+    tracer = std::make_shared<trace::Tracer>(trace_capacity);
+    bed.set_tracer(tracer.get());
+  }
   // Cooperative watchdog: with a deadline set, each virtual-time phase is
   // sliced and the host clock checked between slices. run_until(t) runs
   // every event at <= t and then advances the clock to exactly t, so the
@@ -76,18 +81,53 @@ ShardResult run_shard_typed(const Shard& shard, double deadline_s) {
   out.events = bed.sim().events_processed();
   out.final_clock = bed.sim().now();
   out.latency_count = out.telemetry.histogram("latency_us").count();
+
+  // Compact per-window tracks out of the recorder's full-snapshot ring:
+  // the headline counters every figure plots, plus the window's own
+  // fingerprint so series identity can be asserted window by window.
+  if (const stats::SeriesRecorder* sr = bed.series(); sr != nullptr) {
+    out.series.interval = sr->interval();
+    out.series.dropped_windows = sr->dropped();
+    out.series.windows.reserve(sr->size());
+    const int n_queues = bed.port().n_rx_queues();
+    for (std::size_t k = 0; k < sr->size(); ++k) {
+      const stats::SeriesRecorder::Window& win = sr->window(k);
+      SeriesWindow w;
+      w.t_end = win.t_end;
+      w.fingerprint = win.fingerprint;
+      w.rx = win.delta.counter("port.rx");
+      w.tx = win.delta.counter("port.tx.transmitted");
+      w.dropped = win.delta.counter("port.cap_drops");
+      for (int q = 0; q < n_queues; ++q) {
+        w.dropped += win.delta.counter("port.q" + std::to_string(q) + ".dropped");
+      }
+      const stats::Histogram& lat = win.delta.histogram("latency_us");
+      w.latency_count = lat.count();
+      w.latency_sum_us = lat.summary().sum();
+      for (int q = 0;; ++q) {
+        const auto* e = win.delta.find("met.q" + std::to_string(q) + ".total_tries");
+        if (e == nullptr) break;
+        w.wakeups += e->counter;
+      }
+      out.series.windows.push_back(w);
+    }
+  }
+  out.trace = std::move(tracer);
+
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return out;
 }
 
-ShardResult run_shard(const Shard& shard, double deadline_s) {
+ShardResult run_shard(const Shard& shard, double deadline_s, std::size_t trace_capacity) {
   switch (shard.backend) {
-    case BackendKind::kLadder: return run_shard_typed<sim::LadderSimulation>(shard, deadline_s);
-    case BackendKind::kWheel: return run_shard_typed<sim::WheelSimulation>(shard, deadline_s);
+    case BackendKind::kLadder:
+      return run_shard_typed<sim::LadderSimulation>(shard, deadline_s, trace_capacity);
+    case BackendKind::kWheel:
+      return run_shard_typed<sim::WheelSimulation>(shard, deadline_s, trace_capacity);
     case BackendKind::kHeap: break;
   }
-  return run_shard_typed<sim::Simulation>(shard, deadline_s);
+  return run_shard_typed<sim::Simulation>(shard, deadline_s, trace_capacity);
 }
 
 }  // namespace
@@ -109,6 +149,7 @@ std::vector<Shard> SweepRunner::expand(const SweepMatrix& matrix) {
       if (!matrix.rates_mpps.empty()) cfg.workload.rate_mpps = matrix.rates_mpps[r];
       if (matrix.warmup >= 0) cfg.warmup = matrix.warmup;
       if (matrix.measure >= 0) cfg.measure = matrix.measure;
+      if (matrix.series_interval > 0) cfg.series_interval = matrix.series_interval;
       if (matrix.base_seed != 0) {
         // A *point* is (scenario, rate): backends and ladder geometries of
         // one point share the seed, because both are pure speed knobs —
@@ -144,7 +185,7 @@ ShardResult SweepRunner::execute(const Shard& shard) const {
   const int max_attempts = 1 + max_retries_;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     try {
-      out = run_shard(shard, deadline_s_);
+      out = run_shard(shard, deadline_s_, trace_capacity_);
       out.attempts = attempt;
       return out;
     } catch (const std::exception& e) {
@@ -164,26 +205,56 @@ ShardResult SweepRunner::execute(const Shard& shard) const {
 
 std::vector<ShardResult> SweepRunner::run(const std::vector<Shard>& shards) const {
   std::vector<ShardResult> results(shards.size());
+  worker_stats_.clear();
+  wall_tracers_.clear();
   if (shards.empty()) return results;
 
   const int workers = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), shards.size()));
+  worker_stats_.resize(static_cast<std::size_t>(workers));
+  if (trace_capacity_ > 0) {
+    // One wall lane per worker: shard spans from different threads never
+    // interleave inside one ring, and export stays merge-free.
+    wall_tracers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      // Worker rings only hold one kShard span per shard run.
+      wall_tracers_.push_back(std::make_unique<trace::Tracer>(shards.size() + 1));
+    }
+  }
+  const auto epoch = std::chrono::steady_clock::now();
+
+  const auto run_one = [&](int w, std::size_t i) {
+    WorkerStats& ws = worker_stats_[static_cast<std::size_t>(w)];
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      trace::WallSpan span(trace_capacity_ > 0 ? wall_tracers_[static_cast<std::size_t>(w)].get()
+                                               : nullptr,
+                           epoch, trace::id::kShard, static_cast<std::uint32_t>(w), i);
+      results[i] = execute(shards[i]);
+    }
+    ws.busy_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    ++ws.shards_run;
+    if (results[i].failed) ++ws.shards_failed;
+    ws.retries += static_cast<std::uint64_t>(results[i].attempts - 1);
+  };
+
   if (workers <= 1) {
-    for (std::size_t i = 0; i < shards.size(); ++i) results[i] = execute(shards[i]);
+    for (std::size_t i = 0; i < shards.size(); ++i) run_one(0, i);
     return results;
   }
 
   std::atomic<std::size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](int w) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= shards.size()) return;
-      results[i] = execute(shards[i]);
+      run_one(w, i);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker, w);
   for (auto& t : pool) t.join();
   return results;
 }
@@ -223,8 +294,86 @@ stats::MetricSnapshot merge_telemetry(const std::vector<ShardResult>& results) {
   return total;
 }
 
+ShardSeries merge_timeseries(const std::vector<ShardResult>& results) {
+  ShardSeries merged;
+  for (const ShardResult& r : results) {
+    if (r.failed || r.series.interval <= 0) continue;
+    if (merged.interval == 0) merged.interval = r.series.interval;
+    merged.dropped_windows += r.series.dropped_windows;
+    if (r.series.windows.size() > merged.windows.size()) {
+      merged.windows.resize(r.series.windows.size());
+    }
+    for (std::size_t k = 0; k < r.series.windows.size(); ++k) {
+      const SeriesWindow& w = r.series.windows[k];
+      SeriesWindow& m = merged.windows[k];
+      m.t_end = std::max(m.t_end, w.t_end);
+      // FNV-1a-style chain over the shard fingerprints of window k: order-
+      // sensitive in shard order, which run() fixes independently of --jobs.
+      m.fingerprint = (m.fingerprint ^ w.fingerprint) * 1099511628211ULL;
+      m.rx += w.rx;
+      m.tx += w.tx;
+      m.dropped += w.dropped;
+      m.latency_count += w.latency_count;
+      m.latency_sum_us += w.latency_sum_us;
+      m.wakeups += w.wakeups;
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+/// Measurement-window packet totals carried next to a `timeseries` block:
+/// with no windows dropped, the per-window arrays sum to exactly these
+/// (the self-check CI runs against the report).
+struct SeriesTotals {
+  std::uint64_t rx = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// The per-shard / merged `timeseries` JSON object: interval + drop count
+/// + parallel per-window arrays (schema documented in docs/BENCHMARKS.md).
+void write_series_json(stats::JsonWriter& w, const ShardSeries& s, const SeriesTotals& totals) {
+  w.begin_object();
+  w.kv("interval_ns", static_cast<std::int64_t>(s.interval));
+  w.kv("dropped_windows", s.dropped_windows);
+  w.kv("n_windows", static_cast<std::uint64_t>(s.windows.size()));
+  w.kv("window_rx", totals.rx);
+  w.kv("window_tx", totals.tx);
+  w.kv("window_dropped", totals.dropped);
+  w.key("t_end_ns").begin_array();
+  for (const SeriesWindow& win : s.windows) w.value(static_cast<std::int64_t>(win.t_end));
+  w.end_array();
+  w.key("fingerprints").begin_array();
+  for (const SeriesWindow& win : s.windows) w.value(win.fingerprint);
+  w.end_array();
+  w.key("rx").begin_array();
+  for (const SeriesWindow& win : s.windows) w.value(win.rx);
+  w.end_array();
+  w.key("tx").begin_array();
+  for (const SeriesWindow& win : s.windows) w.value(win.tx);
+  w.end_array();
+  w.key("dropped").begin_array();
+  for (const SeriesWindow& win : s.windows) w.value(win.dropped);
+  w.end_array();
+  w.key("latency_count").begin_array();
+  for (const SeriesWindow& win : s.windows) w.value(win.latency_count);
+  w.end_array();
+  w.key("latency_sum_us").begin_array();
+  for (const SeriesWindow& win : s.windows) w.value(win.latency_sum_us);
+  w.end_array();
+  w.key("wakeups").begin_array();
+  for (const SeriesWindow& win : s.windows) w.value(win.wakeups);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
 std::string report_json(const std::vector<Shard>& shards,
-                        const std::vector<ShardResult>& results, bool include_timing) {
+                        const std::vector<ShardResult>& results, bool include_timing,
+                        const SweepRunner* runner) {
   std::ostringstream os;
   stats::JsonWriter w(os);
   w.begin_object();
@@ -263,6 +412,12 @@ std::string report_json(const std::vector<Shard>& shards,
     w.kv("attempts", r.attempts);
     if (r.failed) w.kv("error", r.error);
     if (include_timing) w.kv("wall_seconds", r.wall_seconds);
+    if (r.series.interval > 0) {
+      w.key("timeseries");
+      write_series_json(w, r.series,
+                        SeriesTotals{r.result.rx_packets, r.result.tx_packets,
+                                     r.result.dropped_packets});
+    }
     w.key("metrics");
     r.telemetry.write_json(w);
     w.end_object();
@@ -308,6 +463,36 @@ std::string report_json(const std::vector<Shard>& shards,
     w.end_object();
   }
   w.end_array();
+  // Whole-sweep time series (see merge_timeseries), present only when at
+  // least one shard recorded one.
+  const ShardSeries merged_series = merge_timeseries(results);
+  if (merged_series.interval > 0) {
+    SeriesTotals merged_totals;
+    for (const ShardResult& r : results) {
+      if (r.failed || r.series.interval <= 0) continue;
+      merged_totals.rx += r.result.rx_packets;
+      merged_totals.tx += r.result.tx_packets;
+      merged_totals.dropped += r.result.dropped_packets;
+    }
+    w.key("timeseries_merged");
+    write_series_json(w, merged_series, merged_totals);
+  }
+  // Per-worker sweep execution counters (`sweep.tN.*`). Wall-clock
+  // observability: the shard->worker assignment races for jobs > 1, so
+  // this block rides the include_timing path and stays out of every
+  // byte-identity comparison.
+  if (include_timing && runner != nullptr && !runner->worker_stats().empty()) {
+    w.key("sweep_workers").begin_object();
+    const auto& stats = runner->worker_stats();
+    for (std::size_t t = 0; t < stats.size(); ++t) {
+      const std::string base = "sweep.t" + std::to_string(t);
+      w.kv(base + ".shards", stats[t].shards_run);
+      w.kv(base + ".failed", stats[t].shards_failed);
+      w.kv(base + ".retries", stats[t].retries);
+      w.kv(base + ".busy_seconds", stats[t].busy_seconds);
+    }
+    w.end_object();
+  }
   // Whole-sweep totals: every shard's telemetry union-merged in shard
   // order. Backends of one point both contribute (a sweep total, not a
   // deduplicated workload total).

@@ -20,12 +20,14 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/experiment.hpp"
 #include "scenario/registry.hpp"
 #include "stats/metric_set.hpp"
+#include "stats/trace.hpp"
 
 namespace metro::scenario {
 
@@ -54,6 +56,29 @@ struct ShardCounters {
   bool operator==(const ShardCounters&) const = default;
 };
 
+/// One sampling window of a shard's measurement time series — the compact
+/// cross-layer track kept per shard (the full MetricSnapshot deltas stay
+/// inside the testbed's SeriesRecorder ring; carrying them here would cost
+/// ~800 KB per window for the latency histogram alone).
+struct SeriesWindow {
+  sim::Time t_end = 0;            ///< sim time at the window's close
+  std::uint64_t fingerprint = 0;  ///< digest of the window's full delta snapshot
+  std::uint64_t rx = 0;           ///< packets offered to the port this window
+  std::uint64_t tx = 0;           ///< packets transmitted this window
+  std::uint64_t dropped = 0;      ///< cap + ring drops this window
+  std::uint64_t latency_count = 0;   ///< latency samples this window
+  double latency_sum_us = 0.0;       ///< sum of those samples (mean = sum/count)
+  std::uint64_t wakeups = 0;         ///< Metronome lock attempts this window
+};
+
+/// A shard's whole measurement time series (empty unless the shard's
+/// config set ExperimentConfig::series_interval).
+struct ShardSeries {
+  sim::Time interval = 0;             ///< sampling interval; 0 = series off
+  std::uint64_t dropped_windows = 0;  ///< samples lost to ring overflow
+  std::vector<SeriesWindow> windows;
+};
+
 /// Everything a shard run produces. All fields except wall_seconds are
 /// deterministic (pure functions of the shard's config).
 struct ShardResult {
@@ -75,6 +100,11 @@ struct ShardResult {
   sim::Time final_clock = 0;
   std::uint64_t latency_count = 0;     ///< latency histogram sample count
   apps::ExperimentResult result;       ///< measurement-window observables
+  /// Compact per-window tracks (see ShardSeries); deterministic.
+  ShardSeries series;
+  /// The shard's trace ring (set only when the runner's tracing is on).
+  /// Shared so results stay copyable; sim-time events only, deterministic.
+  std::shared_ptr<trace::Tracer> trace;
   double wall_seconds = 0.0;           ///< host time; NOT deterministic
 
   // --- failure capture (hardened runner) --------------------------------
@@ -101,6 +131,9 @@ struct SweepMatrix {
   /// != 0: derive per-point seeds as mix_seed(base_seed, point_index)
   /// (backends of one point share the seed). 0 keeps scenario seeds.
   std::uint64_t base_seed = 0;
+  /// > 0: every shard samples its telemetry at this sim-time interval
+  /// (ExperimentConfig::series_interval override; see ShardSeries).
+  sim::Time series_interval = 0;
 };
 
 /// Expands matrices and runs shard lists on a worker pool.
@@ -144,12 +177,44 @@ class SweepRunner {
   void set_max_retries(int retries) noexcept { max_retries_ = retries < 0 ? 0 : retries; }
   int max_retries() const noexcept { return max_retries_; }
 
+  /// Enable per-shard tracing: every shard gets its own trace::Tracer of
+  /// `capacity` events (attached through BasicTestbed::set_tracer and kept
+  /// in ShardResult::trace), and each worker thread records a wall-clock
+  /// sweep/shard span per shard it runs. 0 turns tracing back off.
+  /// Tracing is a pure observer; shard results stay bit-identical.
+  void set_tracing(std::size_t capacity) noexcept { trace_capacity_ = capacity; }
+  std::size_t trace_capacity() const noexcept { return trace_capacity_; }
+
+  /// Per-worker execution statistics from the most recent run(). The
+  /// counters are deterministic only for jobs <= 1 (shard->worker
+  /// assignment is a race above that); report_json emits them — as
+  /// `sweep.tN.*` — only on the include_timing path for that reason.
+  struct WorkerStats {
+    std::uint64_t shards_run = 0;
+    std::uint64_t shards_failed = 0;
+    std::uint64_t retries = 0;     ///< extra attempts beyond the first
+    double busy_seconds = 0.0;     ///< wall time inside execute()
+  };
+  const std::vector<WorkerStats>& worker_stats() const noexcept { return worker_stats_; }
+
+  /// Per-worker wall-clock trace lanes (one sweep/shard span per shard
+  /// run), recorded only while tracing is enabled. Wall time, so excluded
+  /// from every determinism gate; export alongside the shard rings.
+  const std::vector<std::unique_ptr<trace::Tracer>>& wall_tracers() const noexcept {
+    return wall_tracers_;
+  }
+
  private:
   ShardResult execute(const Shard& shard) const;
 
   int jobs_;
   double deadline_s_ = 0.0;
   int max_retries_ = 1;
+  std::size_t trace_capacity_ = 0;
+  // run() is logically const (pure function of the shard list); the
+  // bookkeeping below is observability output, refreshed per run.
+  mutable std::vector<WorkerStats> worker_stats_;
+  mutable std::vector<std::unique_ptr<trace::Tracer>> wall_tracers_;
 };
 
 /// Number of shards whose every attempt failed.
@@ -169,6 +234,14 @@ std::string failure_summary(const std::vector<Shard>& shards,
 /// in the message. Failed shards are skipped (their telemetry is empty).
 stats::MetricSnapshot merge_telemetry(const std::vector<ShardResult>& results);
 
+/// Deterministically merge every non-failed shard's time series, window
+/// index by window index (window k of the merge sums window k of every
+/// shard that has one): counters add, per-window fingerprints chain in
+/// shard order (FNV-style), t_end takes the latest closer. Returns an
+/// empty series when no shard recorded one. The merge is a pure fold in
+/// shard order, so it is bit-identical for any --jobs value.
+ShardSeries merge_timeseries(const std::vector<ShardResult>& results);
+
 /// Merge shards + results into one JSON report (shard order preserved),
 /// emitted through stats::JsonWriter — the single JSON path. Per shard:
 /// the identifying axes, headline counters, `telemetry_fingerprint`,
@@ -178,8 +251,16 @@ stats::MetricSnapshot merge_telemetry(const std::vector<ShardResult>& results);
 /// fault-bearing shard, and a `totals` object carries merge_telemetry()
 /// over all shards. `include_timing` adds per-shard wall_seconds — the
 /// one nondeterministic field; leave it off when comparing reports across
-/// worker counts.
+/// worker counts. Shards that recorded a time series additionally carry a
+/// `timeseries` object (interval + parallel per-window arrays, schema in
+/// docs/BENCHMARKS.md), and the report then ends with a
+/// `timeseries_merged` object (merge_timeseries over all shards).
+/// `runner`, when given together with include_timing, appends a
+/// `sweep_workers` object with the per-thread `sweep.tN.*` counters —
+/// wall-clock observability, deliberately absent from the deterministic
+/// report shape.
 std::string report_json(const std::vector<Shard>& shards,
-                        const std::vector<ShardResult>& results, bool include_timing);
+                        const std::vector<ShardResult>& results, bool include_timing,
+                        const SweepRunner* runner = nullptr);
 
 }  // namespace metro::scenario

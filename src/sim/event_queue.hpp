@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "stats/trace.hpp"
 
 namespace metro::sim {
 
@@ -412,6 +413,9 @@ class LadderQueueBackend {
   /// Start of the current epoch's far-future region (top threshold).
   Time top_floor() const noexcept { return top_floor_; }
 
+  /// Attach a trace recorder for structural events (spill, epoch open).
+  void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
+
  private:
   /// start + n * width, saturated at the Time maximum (events may carry
   /// arbitrary int64 timestamps; rung geometry must not overflow).
@@ -578,6 +582,9 @@ class LadderQueueBackend {
   /// remainder.
   template <typename Ctx>
   void spawn_child(Time bstart, Time bend, Ctx ctx) {
+    if (tracer_ != nullptr) [[unlikely]] {
+      tracer_->instant(trace::id::kLadderSpill, bstart, scratch_.size());
+    }
     Rung& child = acquire_rung();
     child.start = bstart;
     child.width = static_cast<Time>(
@@ -596,6 +603,9 @@ class LadderQueueBackend {
   template <typename Ctx>
   void spawn_from_top(Ctx ctx) {
     assert(n_rungs_ == 0);
+    if (tracer_ != nullptr) [[unlikely]] {
+      tracer_->instant(trace::id::kLadderEpoch, top_min_, top_.size());
+    }
     Rung& rung = acquire_rung();
     const auto span = static_cast<std::uint64_t>(top_max_ - top_min_) + 1;
     rung.start = top_min_;
@@ -632,6 +642,7 @@ class LadderQueueBackend {
   Time top_max_ = 0;
   Time top_floor_ = 0;  // entries at/after this go to top
   std::size_t live_ = 0;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 static_assert(EventQueueBackend<LadderQueueBackend>);
@@ -806,6 +817,9 @@ class TimingWheelBackend {
   /// Entries in the overflow pool, tombstones included.
   std::size_t overflow_stored() const noexcept { return overflow_.size(); }
 
+  /// Attach a trace recorder for structural events (cascade, epoch rebase).
+  void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
+
  private:
   /// v << s, saturated at the Time maximum (epoch arithmetic near
   /// INT64_MAX must clamp, not overflow). v is a non-negative slot index.
@@ -967,6 +981,10 @@ class TimingWheelBackend {
         }
         floor_ = std::max(floor_, sat_shl(cur_[0], cfg_.tick_shift));
         auto& slot = slot_ref(clevel, cslot);
+        if (tracer_ != nullptr) [[unlikely]] {
+          tracer_->instant(trace::id::kWheelCascade, sat_shl(cslot, shift(clevel)),
+                           slot.size(), 0, clevel);
+        }
         for (const EventEntry& e : slot) {
           if (ctx.dead(e)) continue;
           const std::int64_t down = slot_of(e.at, clevel - 1);
@@ -1009,6 +1027,9 @@ class TimingWheelBackend {
     }
     // All-tombstone pool with live_ > 0 elsewhere is impossible here
     // (wheels are empty); lo == INT64_MAX then simply re-bases at the top.
+    if (tracer_ != nullptr) [[unlikely]] {
+      tracer_->instant(trace::id::kWheelEpoch, lo, overflow_.size());
+    }
     for (std::uint32_t k = 0; k < cfg_.levels; ++k) cur_[k] = slot_of(lo, k);
     floor_ = sat_shl(cur_[0], cfg_.tick_shift);
     overflow_floor_ = sat_shl(cur_[cfg_.levels - 1] + slots_per_level_,
@@ -1040,6 +1061,7 @@ class TimingWheelBackend {
   Time overflow_floor_ = 0;  // latched per epoch; entries at/after it -> overflow
   std::vector<EventEntry> scratch_;  // detached pool during a rebase
   std::size_t live_ = 0;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 static_assert(EventQueueBackend<TimingWheelBackend>);

@@ -203,6 +203,19 @@ class BasicSimulation {
   /// Total events executed since construction (throughput accounting).
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  /// Attach (or detach, with nullptr) a trace recorder. Default-off: the
+  /// only hot-path cost while detached is one predictable null test per
+  /// dispatched event. Backends that emit structural events (ladder
+  /// spill/epoch, wheel cascade/rebase) receive the tracer too. Tracing
+  /// only *observes* — it never changes what the run computes, so
+  /// telemetry fingerprints are bit-identical either way (test-enforced).
+  void set_tracer(trace::Tracer* t) noexcept {
+    tracer_ = t;
+    if constexpr (requires { queue_.set_tracer(t); }) queue_.set_tracer(t);
+  }
+  /// The attached trace recorder, or nullptr.
+  trace::Tracer* tracer() const noexcept { return tracer_; }
+
   // --- awaitables -----------------------------------------------------
 
   /// co_await sim.sleep_for(d): suspend the calling process for `d` ns of
@@ -338,6 +351,13 @@ class BasicSimulation {
   void dispatch(const EventEntry& top) {
     now_ = top.at;
     ++processed_;
+    if (tracer_ != nullptr) [[unlikely]] {
+      // 1-in-256 deterministic sampling: a full-rate fire instant per
+      // event would saturate the ring in microseconds of sim time.
+      if ((processed_ & 0xff) == 0) {
+        tracer_->instant(trace::id::kKernelFire, top.at, processed_);
+      }
+    }
     if (top.kind == EventKind::kCoroutine) {
       const auto h = std::coroutine_handle<>::from_address(top.payload);
       if (!h.done()) h.resume();
@@ -393,6 +413,7 @@ class BasicSimulation {
   std::uint32_t free_head_ = kNilSlot;
   std::vector<std::coroutine_handle<Task::promise_type>> processes_;
   Rng rng_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 /// The default kernel: binary-heap event store. The production layers

@@ -7,6 +7,7 @@
 // boxplots (median, quartiles, whiskers) and density plots (Fig. 4).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -34,6 +35,49 @@ class Histogram {
       : bin_width_(bin_width),
         bins_(static_cast<std::size_t>(max_value / bin_width) + 1, 0) {}
 
+  // Copies stay geometry-identical but only move the touched bin prefix:
+  // the default latency geometry is 100k bins (~0.8 MB) of which a run
+  // touches a few thousand, and the time-series sampler copies histograms
+  // once per window. Bins at or above touched_bins() are zero by
+  // invariant, so the prefix copy (plus zeroing any stale tail of the
+  // destination) reproduces the full state.
+  Histogram(const Histogram& other)
+      : bin_width_(other.bin_width_),
+        bins_(other.bins_.size(), 0),
+        overflow_(other.overflow_),
+        summary_(other.summary_),
+        hi_(other.hi_) {
+    std::copy(other.bins_.begin(), other.bins_.begin() + static_cast<std::ptrdiff_t>(hi_),
+              bins_.begin());
+  }
+
+  Histogram& operator=(const Histogram& other) {
+    if (this == &other) return *this;
+    if (bins_.size() == other.bins_.size()) {
+      // In-place: overwrite the source's touched prefix, zero whatever my
+      // previous contents touched above it. Never allocates — this is the
+      // alloc-free refresh path of MetricSet::snapshot_into.
+      std::copy(other.bins_.begin(),
+                other.bins_.begin() + static_cast<std::ptrdiff_t>(other.hi_), bins_.begin());
+      if (hi_ > other.hi_) {
+        std::fill(bins_.begin() + static_cast<std::ptrdiff_t>(other.hi_),
+                  bins_.begin() + static_cast<std::ptrdiff_t>(hi_), 0);
+      }
+    } else {
+      bins_.assign(other.bins_.size(), 0);
+      std::copy(other.bins_.begin(),
+                other.bins_.begin() + static_cast<std::ptrdiff_t>(other.hi_), bins_.begin());
+    }
+    bin_width_ = other.bin_width_;
+    overflow_ = other.overflow_;
+    summary_ = other.summary_;
+    hi_ = other.hi_;
+    return *this;
+  }
+
+  Histogram(Histogram&&) = default;
+  Histogram& operator=(Histogram&&) = default;
+
   void add(double x) {
     summary_.add(x);
     std::size_t idx = x <= 0.0 ? 0 : static_cast<std::size_t>(x / bin_width_);
@@ -42,6 +86,7 @@ class Histogram {
       return;
     }
     ++bins_[idx];
+    if (idx >= hi_) hi_ = idx + 1;
   }
 
   std::uint64_t count() const noexcept { return summary_.count(); }
@@ -102,19 +147,59 @@ class Histogram {
           "/" + std::to_string(other.bin_width_) + ", bins " + std::to_string(bins_.size()) +
           "/" + std::to_string(other.bins_.size()) + ")");
     }
-    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+    for (std::size_t i = 0; i < other.hi_; ++i) bins_[i] += other.bins_[i];
+    hi_ = std::max(hi_, other.hi_);
     overflow_ += other.overflow_;
     summary_.merge(other.summary_);
+  }
+
+  /// Write `this - earlier` into `out`, where `earlier` is a previous
+  /// snapshot of this same histogram (bins are monotonic between resets,
+  /// so the bin-wise subtraction is exact; the side Summary subtracts by
+  /// Summary::since). `out` must already have the matching geometry —
+  /// writes happen in place and never allocate, which is what lets the
+  /// time-series sampler run inside the alloc-free window. Throws
+  /// std::invalid_argument on any geometry mismatch.
+  void since_into(const Histogram& earlier, Histogram& out) const {
+    if (earlier.bin_width_ != bin_width_ || earlier.bins_.size() != bins_.size() ||
+        out.bin_width_ != bin_width_ || out.bins_.size() != bins_.size()) {
+      throw std::invalid_argument(
+          "Histogram::since_into: geometry mismatch (bin_width " +
+          std::to_string(bin_width_) + "/" + std::to_string(earlier.bin_width_) + "/" +
+          std::to_string(out.bin_width_) + ", bins " + std::to_string(bins_.size()) + "/" +
+          std::to_string(earlier.bins_.size()) + "/" + std::to_string(out.bins_.size()) + ")");
+    }
+    // `earlier` is an older snapshot of *this, so its touched range is a
+    // prefix of ours (bins beyond it read zero either way); `out` may hold
+    // a stale previous delta whose tail must be cleared.
+    for (std::size_t i = 0; i < hi_; ++i) {
+      out.bins_[i] = bins_[i] - earlier.bins_[i];
+    }
+    if (out.hi_ > hi_) {
+      std::fill(out.bins_.begin() + static_cast<std::ptrdiff_t>(hi_),
+                out.bins_.begin() + static_cast<std::ptrdiff_t>(out.hi_), 0);
+    }
+    out.hi_ = hi_;
+    out.overflow_ = overflow_ - earlier.overflow_;
+    out.summary_ = summary_.since(earlier.summary_);
   }
 
   double bin_width() const noexcept { return bin_width_; }
   std::size_t n_bins() const noexcept { return bins_.size(); }
   std::uint64_t bin_count(std::size_t i) const { return bins_[i]; }
 
+  /// One past the highest bin written since construction or reset() —
+  /// every bin at or above this index is zero. Deterministic (a pure
+  /// function of the recorded values), so fingerprints may hash just the
+  /// touched prefix plus this watermark without weakening the identity
+  /// gates.
+  std::size_t touched_bins() const noexcept { return hi_; }
+
   void reset() {
     summary_.reset();
     overflow_ = 0;
-    std::fill(bins_.begin(), bins_.end(), 0);
+    std::fill(bins_.begin(), bins_.begin() + static_cast<std::ptrdiff_t>(hi_), 0);
+    hi_ = 0;
   }
 
  private:
@@ -122,6 +207,7 @@ class Histogram {
   std::vector<std::uint64_t> bins_;
   std::uint64_t overflow_ = 0;
   Summary summary_;
+  std::size_t hi_ = 0;  ///< touched-bin watermark; see touched_bins()
 };
 
 }  // namespace metro::stats

@@ -45,7 +45,15 @@ std::uint64_t mix_summary(std::uint64_t h, const Summary& s) {
 std::uint64_t mix_histogram(std::uint64_t h, const Histogram& hist) {
   h = mix_double(h, hist.bin_width());
   h = mix(h, hist.n_bins());
-  for (std::size_t i = 0; i < hist.n_bins(); ++i) h = mix(h, hist.bin_count(i));
+  // Bins at or above the touched watermark are zero by invariant, and the
+  // watermark itself is a deterministic function of the recorded values —
+  // hashing the prefix plus the watermark covers the full bin array at a
+  // cost that scales with the data, not the geometry (the default latency
+  // histogram is 100k bins of which a run touches a few thousand; the
+  // per-window series fingerprints walk this for every sample).
+  const std::size_t hi = hist.touched_bins();
+  h = mix(h, hi);
+  for (std::size_t i = 0; i < hi; ++i) h = mix(h, hist.bin_count(i));
   h = mix(h, hist.overflow());
   return mix_summary(h, hist.summary());
 }
@@ -295,6 +303,40 @@ MetricSnapshot MetricSet::snapshot() const {
     out.entries_.push_back(std::move(e));
   }
   return out;
+}
+
+void MetricSet::snapshot_into(MetricSnapshot& out) const {
+  if (out.entries_.size() != slots_.size()) {
+    throw std::invalid_argument("MetricSet::snapshot_into: shape mismatch (" +
+                                std::to_string(out.entries_.size()) + " entries vs " +
+                                std::to_string(slots_.size()) + " registered)");
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    MetricSnapshot::Entry& e = out.entries_[i];
+    if (e.name != s.name || e.kind != s.kind) {
+      throw std::invalid_argument("MetricSet::snapshot_into: entry " + std::to_string(i) +
+                                  " mismatch ('" + e.name + "' vs '" + s.name + "')");
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter: e.counter = *static_cast<const std::uint64_t*>(s.ptr); break;
+      case MetricKind::kGauge: e.gauge = *static_cast<const double*>(s.ptr); break;
+      case MetricKind::kSummary: e.summary = *static_cast<const Summary*>(s.ptr); break;
+      case MetricKind::kHistogram: {
+        const Histogram& src = *static_cast<const Histogram*>(s.ptr);
+        if (!e.histogram.has_value() || e.histogram->bin_width() != src.bin_width() ||
+            e.histogram->n_bins() != src.n_bins()) {
+          throw std::invalid_argument("MetricSet::snapshot_into: metric '" + s.name +
+                                      "': histogram geometry changed");
+        }
+        // Equal-geometry Histogram assignment reuses the existing bin
+        // storage and copies only the touched prefix: the refresh stays
+        // allocation-free and scales with the data, not the geometry.
+        *e.histogram = src;
+        break;
+      }
+    }
+  }
 }
 
 MetricSnapshot MetricSet::window_start() {

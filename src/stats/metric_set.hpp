@@ -121,6 +121,9 @@ class MetricSnapshot {
 
  private:
   friend class MetricSet;
+  // The time-series sampler writes per-window deltas into preallocated
+  // snapshots in place (no per-sample allocation).
+  friend class SeriesRecorder;
   std::vector<Entry> entries_;
 };
 
@@ -156,6 +159,14 @@ class MetricSet {
 
   /// Copy every value out, in registration order.
   MetricSnapshot snapshot() const;
+
+  /// Refresh a snapshot previously taken from this set *in place*:
+  /// overwrites values only, reusing the entry names and histogram
+  /// storage, so the steady-state cost is copies — zero allocations.
+  /// This is the time-series sampling hot path. Throws
+  /// std::invalid_argument if `out`'s shape (names, kinds, order, or a
+  /// histogram geometry) no longer matches the registry.
+  void snapshot_into(MetricSnapshot& out) const;
 
   /// Open a measurement window: returns the counter/gauge baseline and
   /// resets every summary and histogram (distributions are per-window;

@@ -42,6 +42,30 @@ class Summary {
     sum_ += other.sum_;
   }
 
+  /// Window statistics of this summary minus an `earlier` snapshot of the
+  /// *same* stream: the inverse of the parallel-moments merge rule.
+  /// count and sum are exact; mean follows; m2 is recovered as
+  /// m2_w = m2 - m2_1 - d^2 * n1 * nw / n (clamped at zero against
+  /// floating-point cancellation). min/max are NOT window-recoverable
+  /// from moments, so the run-so-far extremes are kept — merging every
+  /// window still yields the exact run extremes (min of mins).
+  Summary since(const Summary& earlier) const {
+    if (earlier.count_ == 0) return *this;
+    Summary out;
+    out.count_ = count_ - earlier.count_;
+    out.min_ = min_;
+    out.max_ = max_;
+    if (out.count_ == 0) return out;
+    out.sum_ = sum_ - earlier.sum_;
+    out.mean_ = out.sum_ / static_cast<double>(out.count_);
+    const double n1 = static_cast<double>(earlier.count_);
+    const double nw = static_cast<double>(out.count_);
+    const double delta = out.mean_ - earlier.mean_;
+    out.m2_ = std::max(
+        0.0, m2_ - earlier.m2_ - delta * delta * n1 * nw / static_cast<double>(count_));
+    return out;
+  }
+
   void reset() { *this = Summary{}; }
 
   std::uint64_t count() const noexcept { return count_; }

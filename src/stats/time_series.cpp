@@ -1,0 +1,77 @@
+#include "stats/time_series.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace metro::stats {
+
+SeriesRecorder::SeriesRecorder(const MetricSet& metrics, SeriesConfig cfg)
+    : metrics_(metrics), cfg_(cfg) {
+  if (cfg_.interval <= 0) {
+    throw std::invalid_argument("SeriesRecorder: interval must be > 0 ns");
+  }
+  if (cfg_.capacity == 0) {
+    throw std::invalid_argument("SeriesRecorder: capacity must be > 0 windows");
+  }
+}
+
+void SeriesRecorder::prime(sim::Time now) {
+  prev_ = metrics_.snapshot();
+  cur_ = prev_;
+  ring_.clear();
+  ring_.resize(cfg_.capacity);
+  // Shape every slot now so sample() only overwrites values: the copies
+  // carry the entry names, kinds and histogram geometries.
+  for (Window& w : ring_) w.delta = prev_;
+  size_ = 0;
+  dropped_ = 0;
+  last_sample_ = now;
+  primed_ = true;
+}
+
+void SeriesRecorder::sample(sim::Time now) {
+  if (!primed_) return;
+  if (size_ == ring_.size()) {
+    ++dropped_;
+    last_sample_ = now;
+    return;
+  }
+  metrics_.snapshot_into(cur_);
+  Window& w = ring_[size_];
+  delta_into(cur_, prev_, w.delta);
+  w.t_end = now;
+  w.fingerprint = w.delta.fingerprint();
+  // The refreshed snapshot becomes the next window's baseline; swapping
+  // vectors keeps both buffers alive with no allocation.
+  std::swap(prev_, cur_);
+  ++size_;
+  last_sample_ = now;
+}
+
+void SeriesRecorder::finish(sim::Time now) {
+  // Close the tail even at zero elapsed time when the registry moved: a
+  // periodic tick fires *before* other events sharing its timestamp, so
+  // work done at exactly the final sample's time would otherwise fall
+  // into no window and break the windows-sum-to-run-delta identity.
+  if (primed_ && (now > last_sample_ || metrics_.fingerprint() != prev_.fingerprint())) {
+    sample(now);
+  }
+  armed_ = false;
+}
+
+void SeriesRecorder::delta_into(const MetricSnapshot& cur, const MetricSnapshot& prev,
+                                MetricSnapshot& out) {
+  for (std::size_t i = 0; i < cur.entries_.size(); ++i) {
+    const MetricSnapshot::Entry& c = cur.entries_[i];
+    const MetricSnapshot::Entry& p = prev.entries_[i];
+    MetricSnapshot::Entry& o = out.entries_[i];
+    switch (c.kind) {
+      case MetricKind::kCounter: o.counter = c.counter - p.counter; break;
+      case MetricKind::kGauge: o.gauge = c.gauge; break;  // level at window end
+      case MetricKind::kSummary: o.summary = c.summary.since(p.summary); break;
+      case MetricKind::kHistogram: c.histogram->since_into(*p.histogram, *o.histogram); break;
+    }
+  }
+}
+
+}  // namespace metro::stats

@@ -17,6 +17,8 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "stats/metric_set.hpp"
+#include "stats/time_series.hpp"
+#include "stats/trace.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -175,10 +177,29 @@ TYPED_TEST(AllocFreeBackendTest, SteadyStateKernelDoesNotAllocate) {
   for (int i = 0; i < 8; ++i) sim.spawn(waiter(sig, 5_us + i * 500, resumes));
   sim.spawn(notifier(sim, sig, 2_us));
 
+  // Tracing on from the start: the ring is pre-sized and recording is
+  // noexcept, so the tracer may watch warm-up and window alike.
+  metro::trace::Tracer tracer(1u << 12);
+  sim.set_tracer(&tracer);
+
   // Warm-up: backend storage, FIFO buffer and pools reach steady state.
   // (Longer than the heap's: the ladder's per-bucket capacities converge
   // over a few epochs rather than one pass.)
   sim.run_until(40 * kMillisecond);
+
+  // The series recorder arms here (pre-window: prime() preallocates its
+  // ring; sampling then refreshes in place) at an 8 us cadence — inside
+  // the scheduling-horizon band this workload already exercises, which
+  // the warm-up above has taken to peak. The backends' allocation-freedom
+  // guarantee is "after every container has seen its peak": a far-future
+  // cadence (say 1 ms) would make the sampler the lone event class at a
+  // horizon the warm-up never visits, and the wheel/ladder would keep
+  // sizing virgin slots and buckets for it mid-window.
+  metro::stats::SeriesConfig series_cfg;
+  series_cfg.interval = 8_us;
+  series_cfg.capacity = 5100;
+  metro::stats::SeriesRecorder series(metrics, series_cfg);
+  series.arm(sim);
 
   const auto window_baseline = metrics.window_start();  // pre-window; may allocate
 
@@ -192,13 +213,22 @@ TYPED_TEST(AllocFreeBackendTest, SteadyStateKernelDoesNotAllocate) {
 
   EXPECT_GT(resumes - resumes_before, 10000u) << "window did real work";
   EXPECT_EQ(after - before, 0u)
-      << "event kernel or telemetry allocated on the hot path during the "
-         "steady-state window";
+      << "event kernel, telemetry, series sampling or tracing allocated on "
+         "the hot path during the steady-state window";
   EXPECT_NE(fp, 0u);
   const auto d = metrics.delta(window_baseline);
   EXPECT_GT(d.counter("ticks"), 1000u) << "telemetry recorded the window";
   EXPECT_EQ(d.summary("tick_gap_us").count(), d.counter("ticks"))
       << "every tick fed the summary";
+
+  // Both observers recorded real data across the alloc-free window (the
+  // windows-sum-to-run-delta algebra itself is pinned in
+  // test_timeseries.cpp; this test's claim is allocation freedom).
+  series.finish(sim.now());
+  EXPECT_GT(series.size(), 4900u) << "a window per 8 us of the measured window";
+  EXPECT_EQ(series.dropped(), 0u);
+  EXPECT_GT(tracer.size(), 0u) << "sampled kernel fires were traced";
+  sim.set_tracer(nullptr);
 }
 
 TEST(AllocFreeTest, OversizedCallbacksStillWork) {

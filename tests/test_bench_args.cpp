@@ -142,10 +142,34 @@ TEST(BenchArgsTest, CryptoModeValidated) {
   EXPECT_FALSE(parse({"--crypto="}).ok);
 }
 
+TEST(BenchArgsTest, SeriesMustBePositiveMicros) {
+  EXPECT_DOUBLE_EQ(parse({}).args.series_us, 0.0) << "series sampling is off by default";
+  EXPECT_DOUBLE_EQ(parse({"--series=5000"}).args.series_us, 5000.0);
+  EXPECT_DOUBLE_EQ(parse({"--series=0.5"}).args.series_us, 0.5);
+  EXPECT_FALSE(parse({"--series=0"}).ok);
+  EXPECT_FALSE(parse({"--series=-100"}).ok);
+  EXPECT_FALSE(parse({"--series=soon"}).ok);
+  EXPECT_FALSE(parse({"--series=5000us"}).ok) << "trailing garbage is malformed";
+  EXPECT_FALSE(parse({"--series="}).ok);
+  const auto p = parse({"--series=abc"});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("abc"), std::string::npos) << p.error;
+}
+
+TEST(BenchArgsTest, TraceOutNeedsAPath) {
+  EXPECT_TRUE(parse({}).args.trace_out.empty()) << "tracing is off by default";
+  EXPECT_EQ(parse({"--trace-out=t.json"}).args.trace_out, "t.json");
+  EXPECT_FALSE(parse({"--trace-out="}).ok);
+  // --trace-out must not be swallowed by the --trace= prefix (a pcap path
+  // named "-out=t.json" would be silently wrong).
+  EXPECT_TRUE(parse({"--trace-out=t.json"}).args.trace.empty());
+  EXPECT_EQ(parse({"--trace=cap.pcap", "--trace-out=t.json"}).args.trace, "cap.pcap");
+}
+
 TEST(BenchArgsTest, UsageTextMentionsEveryFlag) {
   const std::string usage = usage_text();
   for (const char* flag : {"--fast", "--backend", "--jobs", "--trace", "--list", "--only",
-                           "--deadline", "--crypto"}) {
+                           "--deadline", "--crypto", "--series", "--trace-out"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }
