@@ -49,6 +49,10 @@
 //                         per-packet cost only; live also executes the
 //                         real ESP gateway per packet (simulated results
 //                         identical, wall time measures the crypto).
+//   --flows=N             bench_kernel_throughput: run the full-stack
+//                         scale block on one custom per-flow population
+//                         instead of the registry 1m/4m/16m ladder (the
+//                         wheel gets its for_population geometry).
 //
 // Parsing is strict: unknown flags and malformed numeric values print the
 // usage text and exit 2. Benches that only take --fast use parse_fast(),
@@ -128,6 +132,7 @@ struct Args {
   CryptoMode crypto = CryptoMode::kCalibrated;  ///< fig16 ipsec crypto mode
   double series_us = 0.0;   ///< telemetry sampling interval in us; 0 = off
   std::string trace_out;    ///< Chrome trace output path; empty = no tracing
+  std::size_t flows = 0;    ///< kernel_throughput scale-block population; 0 = registry defaults
 };
 
 inline const char* usage_text() {
@@ -143,7 +148,10 @@ inline const char* usage_text() {
          "  --trace-out=<file>   write a Chrome trace-event JSON of the run\n"
          "  --crypto=calibrated|live\n"
          "                       fig16 ipsec: charge the calibrated cost only, or\n"
-         "                       also run the real ESP gateway per packet\n";
+         "                       also run the real ESP gateway per packet\n"
+         "  --flows=N            kernel_throughput: run the full-stack scale block\n"
+         "                       on one custom per-flow population (1..2^26)\n"
+         "                       instead of the registry's 1m/4m/16m ladder\n";
 }
 
 /// Strict single-pass parser behind parse_args(): every argv entry must
@@ -234,6 +242,15 @@ inline bool try_parse_args(int argc, char** argv, BackendChoice def_backend, int
         error = "--trace-out needs a file path (--trace-out=<file>)";
         return false;
       }
+    } else if (arg.rfind("--flows=", 0) == 0) {
+      const std::string v = arg.substr(8);
+      char* end = nullptr;
+      const long long n = std::strtoll(v.c_str(), &end, 10);
+      if (v.empty() || *end != '\0' || n < 1 || n > (1LL << 26)) {
+        error = "bad --flows value '" + v + "' (want 1..2^26)";
+        return false;
+      }
+      out.flows = static_cast<std::size_t>(n);
     } else if (arg.rfind("--crypto=", 0) == 0) {
       const std::string v = arg.substr(9);
       if (v == "calibrated") {

@@ -43,11 +43,16 @@
 //     All backends must produce identical telemetry; the JSON tracks each
 //     backend's simulated-packets-per-second and the per-backend
 //     full-stack speedups.
-//   * fig13_fullstack_1m — the registered million-flow scenario (2^20
-//     per-flow sources, >1M concurrently pending timers: the regime the
-//     hierarchical timing wheel exists for), repeated over several trials
-//     per backend; the JSON records median/IQR wall time and packet rate
-//     plus the wheel's speedup over heap and ladder.
+//   * fig13_fullstack_1m/4m/16m — the registered scale ladder (2^20,
+//     2^22 and 2^24 per-flow sources: the wheel's home regime, the
+//     beyond-LLC regime, and the memory-bandwidth wall), repeated over
+//     several trials per backend; the JSON records median/IQR wall time
+//     and packet rate, the wheel's speedup over heap and ladder, and the
+//     for_population-selected geometry's win over the fixed 8/10/5
+//     default. --fast drops the 16M rung; --flows=N swaps the ladder for
+//     one custom population. A slot_bits x tick_shift wheel-geometry
+//     grid sweep per population (fingerprint-gated: geometry is a pure
+//     speed knob) backs the WheelConfig::for_population picker.
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -634,51 +639,112 @@ int main(int argc, char** argv) {
     }
   }
 
-  // fig13_fullstack_1m: 2^20 per-flow sources, >1M concurrently pending
-  // timers — the wheel's home regime. Wall time is noisy at these run
-  // lengths, so every enabled backend is repeated m1_trials times
-  // (serially: wall is the metric) and the JSON records median/IQR. The
-  // execution itself is deterministic: every trial of every backend must
-  // produce one and the same telemetry fingerprint.
-  const auto* m1_scenario = metro::scenario::find_scenario("fig13_fullstack_1m");
-  if (m1_scenario == nullptr) {
-    std::cerr << "fig13_fullstack_1m missing from the scenario registry\n";
-    return 2;
-  }
-  auto m1_cfg = m1_scenario->config;
-  if (fast) m1_cfg.measure = 10 * metro::sim::kMillisecond;
-  const int m1_trials = fast ? 2 : 3;
-  struct M1Samples {
+  // Full-stack scale ladder: fig13_fullstack_1m/4m/16m (2^20 / 2^22 /
+  // 2^24 per-flow sources) — the wheel's home regime, then the beyond-LLC
+  // regime and the memory-bandwidth wall. Wall time is noisy at these run
+  // lengths, so every enabled backend is repeated over several trials
+  // (serially: wall is the metric) and the JSON records median/IQR. On
+  // top of the cross-backend identity check, the wheel runs twice per
+  // trial wherever for_population() picks a non-default geometry: once
+  // with the registry's auto geometry and once with the fixed 8/10/5
+  // default, so the auto-selection win is measured, not assumed. The
+  // execution itself is deterministic: every trial of every backend and
+  // every geometry must produce one and the same telemetry fingerprint.
+  // --fast drops the 16M population (tier-1 CI budget); --flows=N swaps
+  // the whole ladder for one custom population built from the 1M
+  // scenario's testbed.
+  struct ScaleSamples {
     std::vector<double> wall;
     std::vector<double> pps;
     FullstackRun last;  // deterministic fields (pending, counters, fingerprint)
     bool ran = false;
-  };
-  std::array<M1Samples, 3> m1;  // indexed by BackendKind: heap, ladder, wheel
-  bool m1_diverged = false;
-  bool m1_have_fp = false;
-  std::uint64_t m1_fp = 0;
-  for (int trial = 0; trial < m1_trials; ++trial) {
-    std::vector<metro::scenario::Shard> m1_shards;
-    for (const auto backend : metro::bench::backend_kinds(args.backend)) {
-      m1_shards.push_back(metro::scenario::Shard{m1_scenario->name, backend, m1_cfg});
+    void add(const FullstackRun& r) {
+      wall.push_back(r.wall);
+      pps.push_back(r.pps);
+      last = r;
+      ran = true;
     }
-    const auto out = metro::scenario::SweepRunner(1).run(m1_shards);
-    for (std::size_t i = 0; i < m1_shards.size(); ++i) {
-      const auto r = from_shard(out[i]);
-      auto& slot = m1[static_cast<std::size_t>(m1_shards[i].backend)];
-      slot.wall.push_back(r.wall);
-      slot.pps.push_back(r.pps);
-      slot.last = r;
-      slot.ran = true;
-      if (!m1_have_fp) {
-        m1_have_fp = true;
-        m1_fp = r.fingerprint;
-      } else if (r.fingerprint != m1_fp) {
-        m1_diverged = true;
-        std::cerr << "DIVERGENCE in fig13_fullstack_1m: "
-                  << metro::scenario::backend_name(m1_shards[i].backend) << " trial " << trial
-                  << " fingerprint " << r.fingerprint << " != " << m1_fp << "\n";
+  };
+  struct PopulationResult {
+    std::string name;                    // scenario (or synthetic --flows label)
+    metro::apps::ExperimentConfig cfg;   // bench windows + --flows applied
+    int trials = 0;
+    std::array<ScaleSamples, 3> backend;  // indexed by BackendKind: heap, ladder, wheel
+    ScaleSamples wheel_fixed;             // wheel under the fixed 8/10/5 default
+    bool fixed_distinct = false;          // for_population() != default geometry
+    bool diverged = false;
+    std::uint64_t fp = 0;
+    bool have_fp = false;
+  };
+  std::vector<PopulationResult> pops;
+  {
+    std::vector<std::pair<const char*, int>> plan;  // scenario, trials
+    if (args.flows == 0) {
+      plan.emplace_back("fig13_fullstack_1m", fast ? 2 : 3);
+      plan.emplace_back("fig13_fullstack_4m", fast ? 2 : 3);
+      if (!fast) plan.emplace_back("fig13_fullstack_16m", 2);
+    } else {
+      plan.emplace_back("fig13_fullstack_1m", fast ? 2 : 3);  // testbed template
+    }
+    for (const auto& [sname, trials] : plan) {
+      const auto* spec = metro::scenario::find_scenario(sname);
+      if (spec == nullptr) {
+        std::cerr << sname << " missing from the scenario registry\n";
+        return 2;
+      }
+      PopulationResult pr;
+      pr.name = spec->name;
+      pr.cfg = spec->config;
+      pr.trials = trials;
+      if (args.flows != 0) {
+        pr.name = "fig13_fullstack_custom";
+        pr.cfg.workload.n_flows = args.flows;
+        pr.cfg.wheel = metro::sim::WheelConfig::for_population(args.flows);
+      }
+      if (fast) pr.cfg.measure = 10 * metro::sim::kMillisecond;
+      const metro::sim::WheelConfig def{};
+      pr.fixed_distinct = pr.cfg.wheel.slot_bits != def.slot_bits ||
+                          pr.cfg.wheel.tick_shift != def.tick_shift ||
+                          pr.cfg.wheel.levels != def.levels;
+      pops.push_back(std::move(pr));
+    }
+  }
+  bool scale_diverged = false;
+  for (auto& pr : pops) {
+    for (int trial = 0; trial < pr.trials; ++trial) {
+      std::vector<metro::scenario::Shard> shards;
+      std::vector<int> slot;  // 0..2 = BackendKind index, 3 = wheel_fixed
+      for (const auto backend : metro::bench::backend_kinds(args.backend)) {
+        shards.push_back(metro::scenario::Shard{pr.name, backend, pr.cfg});
+        slot.push_back(static_cast<int>(backend));
+      }
+      if (wheel_on && pr.fixed_distinct) {
+        auto cfg = pr.cfg;
+        cfg.wheel = metro::sim::WheelConfig{};
+        shards.push_back(
+            metro::scenario::Shard{pr.name, metro::scenario::BackendKind::kWheel, cfg});
+        slot.push_back(3);
+      }
+      const auto out = metro::scenario::SweepRunner(1).run(shards);
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        const auto r = from_shard(out[i]);
+        if (slot[i] == 3) {
+          pr.wheel_fixed.add(r);
+        } else {
+          pr.backend[static_cast<std::size_t>(slot[i])].add(r);
+        }
+        if (!pr.have_fp) {
+          pr.have_fp = true;
+          pr.fp = r.fingerprint;
+        } else if (r.fingerprint != pr.fp) {
+          pr.diverged = true;
+          scale_diverged = true;
+          std::cerr << "DIVERGENCE in " << pr.name << ": "
+                    << (slot[i] == 3 ? "wheel(8/10/5)"
+                                     : metro::scenario::backend_name(shards[i].backend))
+                    << " trial " << trial << " fingerprint " << r.fingerprint << " != " << pr.fp
+                    << "\n";
+        }
       }
     }
   }
@@ -694,6 +760,64 @@ int main(int argc, char** argv) {
   const auto iqr = [&](const std::vector<double>& v) {
     return quantile(v, 0.75) - quantile(v, 0.25);
   };
+
+  // Wheel geometry sweep: a slot_bits x tick_shift grid over every scale
+  // population, levels filled in as the deepest hierarchy the kernel's
+  // tick_shift + levels*slot_bits <= 62 bound admits (capped at the
+  // default 5). This is the measurement WheelConfig::for_population()
+  // encodes: the winner per population. Geometry is a pure speed knob —
+  // every grid point must reproduce the population's fingerprint bit for
+  // bit. One trial per point (the medians the picker is built from come
+  // from the repeated-trial scale block above); the 16M population gets
+  // the reduced grid even in full mode to keep the bench's wall time
+  // bounded.
+  struct GeoPoint {
+    metro::sim::WheelConfig cfg;
+    FullstackRun run;
+  };
+  struct GeoSweep {
+    std::vector<GeoPoint> points;
+    std::size_t best = 0;
+    bool ran = false;
+  };
+  std::vector<GeoSweep> geo_sweeps(pops.size());
+  bool wheel_geo_diverged = false;
+  if (wheel_on) {
+    for (std::size_t p = 0; p < pops.size(); ++p) {
+      auto& pr = pops[p];
+      const bool small_grid = fast || pr.cfg.workload.n_flows >= (std::size_t{1} << 24);
+      const std::vector<std::uint32_t> sbs =
+          small_grid ? std::vector<std::uint32_t>{8, 12} : std::vector<std::uint32_t>{8, 10, 12};
+      const std::vector<std::uint32_t> tss =
+          small_grid ? std::vector<std::uint32_t>{10, 16}
+                     : std::vector<std::uint32_t>{10, 13, 16};
+      auto& sweep = geo_sweeps[p];
+      std::vector<metro::scenario::Shard> shards;
+      for (const auto sb : sbs) {
+        for (const auto ts : tss) {
+          const metro::sim::WheelConfig wc{sb, ts, std::min(5u, (62u - ts) / sb)};
+          auto cfg = pr.cfg;
+          cfg.wheel = wc;
+          shards.push_back(
+              metro::scenario::Shard{pr.name, metro::scenario::BackendKind::kWheel, cfg});
+          sweep.points.push_back(GeoPoint{wc, {}});
+        }
+      }
+      const auto out = metro::scenario::SweepRunner(1).run(shards);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        sweep.points[i].run = from_shard(out[i]);
+        if (pr.have_fp && sweep.points[i].run.fingerprint != pr.fp) {
+          wheel_geo_diverged = true;
+          std::cerr << "GEOMETRY DIVERGENCE in " << pr.name << " at wheel "
+                    << sweep.points[i].cfg.slot_bits << "/" << sweep.points[i].cfg.tick_shift
+                    << "/" << sweep.points[i].cfg.levels
+                    << ": telemetry differs from the scale-block runs\n";
+        }
+        if (sweep.points[i].run.wall < sweep.points[sweep.best].run.wall) sweep.best = i;
+      }
+      sweep.ran = true;
+    }
+  }
 
   const auto row = [&](const char* name, const ScenarioResult& r) {
     std::cout << "  " << name << ": legacy " << metro::bench::num(r.baseline_eps() / 1e6)
@@ -787,25 +911,49 @@ int main(int argc, char** argv) {
               << (geometry_diverged ? "  [TELEMETRY DIVERGED]" : "") << "\n";
   }
 
-  const auto m1_row = [&](const char* name, const M1Samples& b) {
+  const auto scale_row = [&](const char* name, const ScaleSamples& b) {
     if (!b.ran) return;
     std::cout << "    " << name << ": wall median " << metro::bench::num(median(b.wall))
               << " s (IQR " << metro::bench::num(iqr(b.wall)) << "), "
               << metro::bench::num(median(b.pps) / 1e6) << " M simulated packets/s, "
               << b.last.pending << " pending events\n";
   };
-  std::cout << "\n  fig13 fullstack 1M (" << (m1_cfg.workload.n_flows) << " per-flow sources, "
-            << m1_trials << " trials per backend):\n";
-  m1_row("heap  ", m1[0]);
-  m1_row("ladder", m1[1]);
-  m1_row("wheel ", m1[2]);
-  if (m1[2].ran && m1[0].ran) {
-    std::cout << "    wheel vs heap: x" << metro::bench::num(median(m1[0].wall) / median(m1[2].wall));
-    if (m1[1].ran) {
-      std::cout << ", wheel vs ladder: x"
-                << metro::bench::num(median(m1[1].wall) / median(m1[2].wall));
+  for (const auto& pr : pops) {
+    const auto& wc = pr.cfg.wheel;
+    std::cout << "\n  " << pr.name << " (" << pr.cfg.workload.n_flows << " per-flow sources, "
+              << pr.trials << " trials per backend, wheel " << wc.slot_bits << "/"
+              << wc.tick_shift << "/" << wc.levels << "):\n";
+    scale_row("heap        ", pr.backend[0]);
+    scale_row("ladder      ", pr.backend[1]);
+    scale_row("wheel(auto) ", pr.backend[2]);
+    scale_row("wheel(8/10/5)", pr.wheel_fixed);
+    const auto& wheel = pr.backend[2];
+    if (wheel.ran && pr.backend[0].ran) {
+      std::cout << "    wheel vs heap: x"
+                << metro::bench::num(median(pr.backend[0].wall) / median(wheel.wall));
+      if (pr.backend[1].ran) {
+        std::cout << ", wheel vs ladder: x"
+                  << metro::bench::num(median(pr.backend[1].wall) / median(wheel.wall));
+      }
+      if (pr.wheel_fixed.ran) {
+        std::cout << ", auto vs fixed geometry: x"
+                  << metro::bench::num(median(pr.wheel_fixed.wall) / median(wheel.wall));
+      }
+      std::cout << (pr.diverged ? "  [TELEMETRY DIVERGED]" : "  (identical telemetry)") << "\n";
     }
-    std::cout << (m1_diverged ? "  [TELEMETRY DIVERGED]" : "  (identical telemetry)") << "\n";
+  }
+  for (std::size_t p = 0; p < geo_sweeps.size(); ++p) {
+    const auto& sweep = geo_sweeps[p];
+    if (!sweep.ran || sweep.points.empty()) continue;
+    std::cout << "\n  wheel geometry sweep, " << pops[p].name << " (" << sweep.points.size()
+              << " grid points, slot_bits x tick_shift):\n";
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+      const auto& pt = sweep.points[i];
+      std::cout << "    " << pt.cfg.slot_bits << "/" << pt.cfg.tick_shift << "/"
+                << pt.cfg.levels << ": wall " << metro::bench::num(pt.run.wall) << " s, "
+                << metro::bench::num(pt.run.pps / 1e6) << " M pkt/s"
+                << (i == sweep.best ? "  <- best" : "") << "\n";
+    }
   }
 
   // --- crypto substrate summary + fig16 live-crypto delta ----------------
@@ -1027,11 +1175,7 @@ int main(int argc, char** argv) {
     w.kv("telemetry_identical", !geometry_diverged);
     w.end_object();
   }
-  w.key("fig13_fullstack_1m").begin_object();
-  w.kv("n_flows", static_cast<std::uint64_t>(m1_cfg.workload.n_flows));
-  w.kv("per_flow_sources", true);
-  w.kv("trials", static_cast<std::uint64_t>(m1_trials));
-  const auto emit_m1 = [&](const char* key, const M1Samples& b) {
+  const auto emit_scale_samples = [&](const char* key, const ScaleSamples& b) {
     if (!b.ran) return;
     w.key(key).begin_object();
     w.kv("wall_seconds_median", median(b.wall));
@@ -1041,17 +1185,86 @@ int main(int argc, char** argv) {
     w.kv("pending_events", static_cast<std::uint64_t>(b.last.pending));
     w.end_object();
   };
-  emit_m1("heap", m1[0]);
-  emit_m1("ladder", m1[1]);
-  emit_m1("wheel", m1[2]);
-  if (m1[2].ran && m1[0].ran) {
-    w.kv("wheel_vs_heap_speedup", median(m1[0].wall) / median(m1[2].wall));
+  const auto emit_population = [&](const PopulationResult& pr) {
+    w.kv("n_flows", static_cast<std::uint64_t>(pr.cfg.workload.n_flows));
+    w.kv("per_flow_sources", true);
+    w.kv("trials", static_cast<std::uint64_t>(pr.trials));
+    emit_scale_samples("heap", pr.backend[0]);
+    emit_scale_samples("ladder", pr.backend[1]);
+    emit_scale_samples("wheel", pr.backend[2]);
+    emit_scale_samples("wheel_fixed", pr.wheel_fixed);
+    w.key("wheel_geometry").begin_object();
+    w.kv("slot_bits", static_cast<std::uint64_t>(pr.cfg.wheel.slot_bits));
+    w.kv("tick_shift", static_cast<std::uint64_t>(pr.cfg.wheel.tick_shift));
+    w.kv("levels", static_cast<std::uint64_t>(pr.cfg.wheel.levels));
+    w.end_object();
+    const auto& wheel = pr.backend[2];
+    if (wheel.ran && pr.backend[0].ran) {
+      w.kv("wheel_vs_heap_speedup", median(pr.backend[0].wall) / median(wheel.wall));
+    }
+    if (wheel.ran && pr.backend[1].ran) {
+      w.kv("wheel_vs_ladder_speedup", median(pr.backend[1].wall) / median(wheel.wall));
+    }
+    if (wheel.ran && pr.wheel_fixed.ran) {
+      w.kv("wheel_auto_vs_fixed_speedup", median(pr.wheel_fixed.wall) / median(wheel.wall));
+    }
+    w.kv("telemetry_identical", !pr.diverged);
+  };
+  // The tracked 1M block keeps its historical shape (and key) so the
+  // PR-over-PR trajectory stays comparable; the scale block below carries
+  // the full ladder including the 1M population.
+  for (const auto& pr : pops) {
+    if (pr.name != "fig13_fullstack_1m") continue;
+    w.key("fig13_fullstack_1m").begin_object();
+    emit_population(pr);
+    w.end_object();
   }
-  if (m1[2].ran && m1[1].ran) {
-    w.kv("wheel_vs_ladder_speedup", median(m1[1].wall) / median(m1[2].wall));
+  w.key("fig13_fullstack_scale").begin_object();
+  w.key("populations").begin_object();
+  for (const auto& pr : pops) {
+    w.key(pr.name.c_str()).begin_object();
+    emit_population(pr);
+    w.end_object();
   }
-  w.kv("telemetry_identical", !m1_diverged);
   w.end_object();
+  w.kv("telemetry_identical", !scale_diverged);
+  w.end_object();
+  {
+    bool any_sweep = false;
+    for (const auto& s : geo_sweeps) any_sweep = any_sweep || (s.ran && !s.points.empty());
+    if (any_sweep) {
+      w.key("wheel_geometry_sweep").begin_object();
+      w.key("populations").begin_object();
+      for (std::size_t p = 0; p < geo_sweeps.size(); ++p) {
+        const auto& sweep = geo_sweeps[p];
+        if (!sweep.ran || sweep.points.empty()) continue;
+        w.key(pops[p].name.c_str()).begin_object();
+        w.kv("n_flows", static_cast<std::uint64_t>(pops[p].cfg.workload.n_flows));
+        w.key("grid").begin_array();
+        for (const auto& pt : sweep.points) {
+          w.begin_object();
+          w.kv("slot_bits", static_cast<std::uint64_t>(pt.cfg.slot_bits));
+          w.kv("tick_shift", static_cast<std::uint64_t>(pt.cfg.tick_shift));
+          w.kv("levels", static_cast<std::uint64_t>(pt.cfg.levels));
+          w.kv("wall_seconds", pt.run.wall);
+          w.kv("simulated_packets_per_sec", pt.run.pps);
+          w.end_object();
+        }
+        w.end_array();
+        const auto& best = sweep.points[sweep.best];
+        w.key("best").begin_object();
+        w.kv("slot_bits", static_cast<std::uint64_t>(best.cfg.slot_bits));
+        w.kv("tick_shift", static_cast<std::uint64_t>(best.cfg.tick_shift));
+        w.kv("levels", static_cast<std::uint64_t>(best.cfg.levels));
+        w.kv("wall_seconds", best.run.wall);
+        w.end_object();
+        w.end_object();
+      }
+      w.end_object();
+      w.kv("telemetry_identical", !wheel_geo_diverged);
+      w.end_object();
+    }
+  }
   w.key("fig13_multiqueue").begin_object();
   w.kv("backend", "heap");
   w.kv("simulated_packets_per_sec", fig13_pps);
@@ -1098,11 +1311,12 @@ int main(int argc, char** argv) {
   w.end_object();
   w.end_object();
   w.finish();
-  if (fullstack_diverged || geometry_diverged || m1_diverged) {
+  if (fullstack_diverged || geometry_diverged || scale_diverged || wheel_geo_diverged) {
     std::cout << "\nwrote BENCH_kernel.json ("
               << (fullstack_diverged   ? "BACKEND"
-                  : geometry_diverged ? "GEOMETRY"
-                                      : "1M-FLOW") << " DIVERGENCE — failing)\n";
+                  : geometry_diverged ? "LADDER-GEOMETRY"
+                  : scale_diverged    ? "SCALE-LADDER"
+                                      : "WHEEL-GEOMETRY") << " DIVERGENCE — failing)\n";
     return 1;
   }
   std::cout << "\nwrote BENCH_kernel.json\n";

@@ -237,6 +237,13 @@ class BasicTestbed {
   /// ExperimentConfig::series_interval > 0 and measurement has begun).
   const stats::SeriesRecorder* series() const { return series_.get(); }
 
+  /// The SoA per-flow source arena (nullptr unless the workload model is
+  /// ArrivalModel::kPerFlow). Exposes the lane accessors —
+  /// flow_count()/armed()/fired() and the per-flow lanes — for scale
+  /// diagnostics; the pending-timer population it reports is what
+  /// WheelConfig::for_population sizes the wheel geometry against.
+  const tgen::PerFlowSourceArena<Sim>* flow_arena() const { return flow_arena_.get(); }
+
  private:
   using Core = sim::BasicCore<Sim>;
 

@@ -128,6 +128,41 @@ std::vector<ScenarioSpec> build_registry() {
     s.config.workload.n_flows = 1u << 20;
     s.config.warmup = 5 * sim::kMillisecond;
     s.config.measure = 25 * sim::kMillisecond;
+    s.config.wheel = sim::WheelConfig::for_population(s.config.workload.n_flows);
+    reg.push_back(std::move(s));
+  }
+  {
+    // 2^22 flows: the flow table no longer fits LLC and the mean per-flow
+    // gap (113 ms) dwarfs the default wheel's level-0 horizon, so the
+    // geometry matters — for_population() widens the level-0 slots until
+    // re-arms land there directly instead of cascading. Fingerprints stay
+    // identical to any other geometry (pure speed knob).
+    ScenarioSpec s{"fig13_fullstack_4m",
+                   "fig13 multiqueue testbed on 2^22 per-flow sources (beyond-LLC regime)",
+                   fig13_testbed()};
+    s.config.workload.model = ArrivalModel::kPerFlow;
+    s.config.workload.poisson = true;
+    s.config.workload.n_flows = 1u << 22;
+    s.config.warmup = 5 * sim::kMillisecond;
+    s.config.measure = 25 * sim::kMillisecond;
+    s.config.wheel = sim::WheelConfig::for_population(s.config.workload.n_flows);
+    reg.push_back(std::move(s));
+  }
+  {
+    // 2^24 flows: ~256 MB of arena lanes + ~1.3 GB of pending kernel
+    // events — the memory-bandwidth wall. Mean per-flow gap is 453 ms, so
+    // a 25 ms window sees each flow at most once; the packet rate is
+    // unchanged (it depends only on the aggregate rate) but every fire is
+    // a cold-memory touch.
+    ScenarioSpec s{"fig13_fullstack_16m",
+                   "fig13 multiqueue testbed on 2^24 per-flow sources (memory-bandwidth wall)",
+                   fig13_testbed()};
+    s.config.workload.model = ArrivalModel::kPerFlow;
+    s.config.workload.poisson = true;
+    s.config.workload.n_flows = 1u << 24;
+    s.config.warmup = 5 * sim::kMillisecond;
+    s.config.measure = 25 * sim::kMillisecond;
+    s.config.wheel = sim::WheelConfig::for_population(s.config.workload.n_flows);
     reg.push_back(std::move(s));
   }
 

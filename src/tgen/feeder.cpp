@@ -102,10 +102,14 @@ PerFlowSourceArena<Sim>::PerFlowSourceArena(Sim& sim, nic::BasicPort<Sim>& port,
     : sim_(sim), port_(port), cfg_(cfg) {
   const auto n = flows.size();
   if (n == 0 || cfg.total_rate_pps <= 0.0) return;
-  rss_.reserve(n);
+  // Exact-size lane fills: at 2^24 flows a reserve-less push_back loop
+  // would transiently hold a doubled allocation per lane.
+  rss_.resize(n);
   for (std::size_t f = 0; f < n; ++f) {
-    rss_.push_back(flows.rss_hash(static_cast<std::uint32_t>(f)));
+    rss_[f] = flows.rss_hash(static_cast<std::uint32_t>(f));
   }
+  next_at_.assign(n, kIdle);
+  emitted_.assign(n, 0);
   mean_gap_ns_ = 1e9 * static_cast<double>(n) / cfg.total_rate_pps;
   end_ = cfg.start + cfg.duration;
   // One bootstrap callback in place of n spawns. It lands in the now-FIFO
@@ -116,27 +120,40 @@ PerFlowSourceArena<Sim>::PerFlowSourceArena(Sim& sim, nic::BasicPort<Sim>& port,
 
 template <typename Sim>
 void PerFlowSourceArena<Sim>::bootstrap() {
-  // Flow order — the order attach_per_flow_sources' tasks resume in (the
-  // now-FIFO preserves spawn order), so the uniform phase draws consume
-  // the shared RNG identically.
-  for (std::uint32_t f = 0; f < rss_.size(); ++f) {
-    const auto next =
-        cfg_.start + static_cast<sim::Time>(sim_.rng().uniform(0.0, mean_gap_ns_));
-    arm(f, next);
+  // Batched arming, two sequential passes over the lanes. Pass 1 streams
+  // the uniform phase draws into the next-fire lane — flow order, the
+  // order attach_per_flow_sources' tasks resume in (the now-FIFO
+  // preserves spawn order), so the draws consume the shared RNG
+  // identically. Pass 2 arms the kernel timers, also in flow order.
+  // Splitting the passes cannot change the execution: draws consume no
+  // sequence numbers, so each armed timer still gets the sequence number
+  // the interleaved form would have handed it.
+  const auto n = static_cast<std::uint32_t>(rss_.size());
+  for (std::uint32_t f = 0; f < n; ++f) {
+    next_at_[f] = cfg_.start + static_cast<sim::Time>(sim_.rng().uniform(0.0, mean_gap_ns_));
+  }
+  for (std::uint32_t f = 0; f < n; ++f) {
+    if (next_at_[f] > end_) {
+      next_at_[f] = kIdle;  // the coroutine's `while (next <= end)` bound
+    } else {
+      arm(f);
+    }
   }
 }
 
 template <typename Sim>
-void PerFlowSourceArena<Sim>::arm(std::uint32_t flow, sim::Time at) {
-  if (at > end_) return;  // the coroutine's `while (next <= end)` bound
+void PerFlowSourceArena<Sim>::arm(std::uint32_t flow) {
   // [this, flow] is 16 trivially-copyable bytes — inside the kernel's
   // inline callback budget, so steady state never allocates.
-  sim_.schedule_at(at, [this, flow] { --armed_; fire(flow); });
+  sim_.schedule_at(next_at_[flow], [this, flow] { --armed_; fire(flow); });
   ++armed_;
 }
 
 template <typename Sim>
 void PerFlowSourceArena<Sim>::fire(std::uint32_t flow) {
+  // The fire path touches only the firing flow's lane entries (rss read,
+  // draw-state bump, next-fire write) plus the shared config/RNG — no
+  // neighbouring flow state comes into the working set.
   nic::PacketDesc pkt;
   pkt.flow_id = flow;
   pkt.rss_hash = rss_[flow];
@@ -144,8 +161,15 @@ void PerFlowSourceArena<Sim>::fire(std::uint32_t flow) {
   pkt.arrival = sim_.now();
   port_.rx(pkt);
   ++fired_;
+  ++emitted_[flow];
   const double gap = cfg_.poisson ? sim_.rng().exponential(mean_gap_ns_) : mean_gap_ns_;
-  arm(flow, sim_.now() + std::max<sim::Time>(1, static_cast<sim::Time>(gap)));
+  const auto next = sim_.now() + std::max<sim::Time>(1, static_cast<sim::Time>(gap));
+  if (next > end_) {
+    next_at_[flow] = kIdle;  // retired: the coroutine's loop bound
+    return;
+  }
+  next_at_[flow] = next;
+  arm(flow);
 }
 
 template class PerFlowSourceArena<sim::Simulation>;

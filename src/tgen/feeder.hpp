@@ -19,10 +19,11 @@
 //   * attach_per_flow_sources() — one coroutine per flow. The readable
 //     reference; a heap-allocated frame per flow makes it unaffordable at
 //     the million-flow mark.
-//   * PerFlowSourceArena — the same processes as packed records plus one
-//     pooled callback timer per flow. ~4 bytes of arena state per flow,
-//     steady-state allocation-free, and construction is one pass instead
-//     of a million coroutine frames. Emits the byte-identical event
+//   * PerFlowSourceArena — the same processes as a structure-of-arrays
+//     arena plus one pooled callback timer per flow. 16 bytes of arena
+//     state per flow across three packed lanes, steady-state
+//     allocation-free, and construction is a few vector fills instead of
+//     millions of coroutine frames. Emits the byte-identical event
 //     stream (enforced by tests/test_tgen.cpp).
 //
 // All entry points are generic over the kernel instantiation; defined in
@@ -66,20 +67,41 @@ template <typename Sim>
 void attach_per_flow_sources(Sim& sim, nic::BasicPort<Sim>& port, const FlowSet& flows,
                              PerFlowSourceConfig cfg);
 
-/// Arena-backed per-flow arrival processes: the million-flow form of
-/// attach_per_flow_sources. Per flow it keeps a 4-byte packed record (the
-/// precomputed RSS hash, contiguous so the fire path touches one dense
-/// cache line per 16 flows instead of a FlowSet stride) and one pending
-/// kernel timer whose 16-byte callback fits the kernel's inline budget —
-/// no coroutine frame, no per-arrival allocation. Constructing the arena
-/// schedules a single bootstrap callback that phases every flow in flow
-/// order, so building a 1M-flow population is one vector fill, not 1M
-/// spawns.
+/// Arena-backed per-flow arrival processes: the multi-million-flow form
+/// of attach_per_flow_sources. The arena is a structure of arrays — three
+/// packed lanes, 16 bytes per flow in total, sized exactly (no growth
+/// slack at 2^24 flows):
+///
+///   * rss hash (4 B)       — the precomputed RSS hash, contiguous so the
+///                            fire path touches one dense cache line per
+///                            16 flows instead of a FlowSet stride;
+///   * next-fire time (8 B) — the instant of the flow's pending timer
+///                            (kIdle once the flow retires past its end);
+///   * draw state (4 B)     — packets this flow has emitted, i.e. the
+///                            gap draws it has consumed from the shared
+///                            RNG (per-flow accounting for the at-scale
+///                            invariant tests).
+///
+/// One pending kernel timer per flow carries only the flow index (the
+/// 16-byte callback fits the kernel's inline budget), so a fire touches
+/// the firing flow's lane entries and nothing else — no coroutine frame,
+/// no per-arrival allocation, no shared record to false-share.
+///
+/// Re-arming is batched where the population is batched: constructing the
+/// arena schedules a single bootstrap callback that first streams the
+/// uniform phase draws into the next-fire lane (one sequential pass, flow
+/// order) and then arms the timers in a second sequential pass, so
+/// building a 2^22-flow population is a handful of lane fills plus the
+/// kernel inserts — not millions of interleaved draw/spawn round trips
+/// through cold kernel structures.
 ///
 /// Equivalence contract: the arena consumes the simulation RNG in the
 /// same order as the coroutine path (phase draws in flow order at t=now,
 /// then one gap draw per arrival in event order) and arms its timers in
-/// the same relative sequence order, so the emitted packet stream — every
+/// the same relative sequence order (the phase/arm split does not change
+/// seq assignment: RNG draws consume no sequence numbers, and flows past
+/// their end are skipped by both passes exactly as the coroutine's
+/// `while (next <= end)` bound would). The emitted packet stream — every
 /// field, every delivery instant, and hence every downstream observable —
 /// is bit-identical to attach_per_flow_sources for every backend
 /// (tests/test_tgen.cpp pins this). Only the kernel's internal event
@@ -90,6 +112,10 @@ void attach_per_flow_sources(Sim& sim, nic::BasicPort<Sim>& port, const FlowSet&
 template <typename Sim>
 class PerFlowSourceArena {
  public:
+  /// next_fire_at() value of a flow with no pending timer (retired past
+  /// `start + duration`, or not yet bootstrapped).
+  static constexpr sim::Time kIdle = -1;
+
   PerFlowSourceArena(Sim& sim, nic::BasicPort<Sim>& port, const FlowSet& flows,
                      PerFlowSourceConfig cfg);
   PerFlowSourceArena(const PerFlowSourceArena&) = delete;
@@ -102,14 +128,25 @@ class PerFlowSourceArena {
   /// Packets emitted so far.
   std::uint64_t fired() const noexcept { return fired_; }
 
+  // --- per-flow lane accessors (accounting tests and diagnostics) -------
+  /// True while `flow` has a timer pending in the kernel.
+  bool flow_armed(std::uint32_t flow) const noexcept { return next_at_[flow] != kIdle; }
+  /// The pending timer's fire instant, or kIdle when the flow retired.
+  sim::Time next_fire_at(std::uint32_t flow) const noexcept { return next_at_[flow]; }
+  /// Packets this flow emitted (== gap draws it consumed).
+  std::uint32_t flow_fired(std::uint32_t flow) const noexcept { return emitted_[flow]; }
+
  private:
   void bootstrap();
   void fire(std::uint32_t flow);
-  void arm(std::uint32_t flow, sim::Time at);
+  void arm(std::uint32_t flow);
 
   Sim& sim_;
   nic::BasicPort<Sim>& port_;
-  std::vector<std::uint32_t> rss_;  ///< packed per-flow records
+  // The SoA lanes (16 B per flow; see the class comment).
+  std::vector<std::uint32_t> rss_;      ///< RSS hash lane
+  std::vector<sim::Time> next_at_;      ///< next-fire lane (kIdle = retired)
+  std::vector<std::uint32_t> emitted_;  ///< draw-state lane (packets emitted)
   PerFlowSourceConfig cfg_;
   double mean_gap_ns_ = 0.0;
   sim::Time end_ = 0;

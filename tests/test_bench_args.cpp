@@ -166,10 +166,26 @@ TEST(BenchArgsTest, TraceOutNeedsAPath) {
   EXPECT_EQ(parse({"--trace=cap.pcap", "--trace-out=t.json"}).args.trace, "cap.pcap");
 }
 
+TEST(BenchArgsTest, FlowsMustBeAPositiveCount) {
+  EXPECT_EQ(parse({}).args.flows, 0u) << "registry populations are the default";
+  EXPECT_EQ(parse({"--flows=1"}).args.flows, 1u);
+  EXPECT_EQ(parse({"--flows=4194304"}).args.flows, 4194304u);
+  EXPECT_EQ(parse({"--flows=67108864"}).args.flows, 67108864u) << "2^26 is the ceiling";
+  EXPECT_FALSE(parse({"--flows=67108865"}).ok) << "beyond 2^26 is rejected";
+  EXPECT_FALSE(parse({"--flows=0"}).ok);
+  EXPECT_FALSE(parse({"--flows=-5"}).ok);
+  EXPECT_FALSE(parse({"--flows=many"}).ok);
+  EXPECT_FALSE(parse({"--flows=1e6"}).ok) << "trailing garbage is malformed";
+  EXPECT_FALSE(parse({"--flows="}).ok);
+  const auto p = parse({"--flows=abc"});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("abc"), std::string::npos) << p.error;
+}
+
 TEST(BenchArgsTest, UsageTextMentionsEveryFlag) {
   const std::string usage = usage_text();
   for (const char* flag : {"--fast", "--backend", "--jobs", "--trace", "--list", "--only",
-                           "--deadline", "--crypto", "--series", "--trace-out"}) {
+                           "--deadline", "--crypto", "--series", "--trace-out", "--flows"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }
